@@ -1,0 +1,179 @@
+// Ablations of the design choices DESIGN.md calls out. Not a paper artifact;
+// each section isolates one mechanism and shows why it is (or is not) load
+// bearing.
+//
+//  A. Intermediate host count — the paper claims VMD performance "does not
+//     depend on the number of intermediate nodes as long as they have enough
+//     memory"; we sweep 1/2/4 servers.
+//  B. Agile's SWAPPED descriptors — what if Agile had to send cold pages in
+//     full (i.e. the per-VM device existed but the protocol didn't exploit
+//     it)? Approximated by the post-copy baseline on the same pressured VM.
+//  C. Send window — stream backlog cap vs migration time (too small starves
+//     the link between scheduling quanta).
+//  D. VMD disk tier — cold-page reads when the cluster's free memory runs
+//     out and pages spill to intermediate-host disks.
+//  E. Source eviction speed — how fast each technique actually frees the
+//     source (scatter-gather, the authors' companion technique, is built
+//     for exactly this).
+#include "bench_common.hpp"
+#include "core/scenarios.hpp"
+
+using namespace agile;
+using core::Technique;
+namespace scen = core::scenarios;
+
+namespace {
+
+migration::MigrationMetrics run_pressured_agile(
+    std::uint32_t vmd_servers, Bytes server_capacity, Bytes server_disk,
+    migration::MigrationConfig mig_cfg = {}) {
+  core::TestbedConfig cfg;
+  cfg.source.ram = 2_GiB;
+  cfg.source.host_os_bytes = 64_MiB;
+  cfg.dest = cfg.source;
+  cfg.dest.name = "dest";
+  cfg.vmd_servers = vmd_servers;
+  cfg.vmd_server_capacity = server_capacity;
+  cfg.vmd_server_disk = server_disk;
+  core::Testbed bed(cfg);
+
+  core::VmSpec spec;
+  spec.name = "vm0";
+  spec.memory = 4_GiB;
+  spec.reservation = 1536_MiB;
+  spec.swap = core::SwapBinding::kPerVmDevice;
+  core::VmHandle& h = bed.create_vm(spec);
+
+  workload::YcsbConfig ycfg;
+  ycfg.dataset_bytes = 3_GiB;
+  ycfg.guest_os_bytes = 64_MiB;
+  ycfg.active_bytes = 1_GiB;
+  ycfg.read_fraction = 0.8;
+  auto load = std::make_unique<workload::YcsbWorkload>(
+      h.machine, &bed.cluster().network(), bed.client_node(), ycfg,
+      bed.make_rng("y"));
+  auto* ycsb = load.get();
+  bed.attach_workload(h, std::move(load));
+  ycsb->load(0);
+  bed.source()->ssd()->advance(sec(3600));
+  bed.cluster().run_for_seconds(10);
+
+  auto mig = bed.make_migration(Technique::kAgile, h, 0, mig_cfg);
+  mig->start();
+  double deadline = bed.cluster().now_seconds() + 3600;
+  while (!mig->completed() && bed.cluster().now_seconds() < deadline) {
+    bed.cluster().run_for_seconds(1);
+  }
+  // Post-migration: widen the active set so cold pages get demand-read from
+  // wherever they live (memory tier or disk tier).
+  std::uint64_t before = ycsb->ops_total();
+  ycsb->set_active_bytes(3_GiB);
+  bed.cluster().run_for_seconds(30);
+  migration::MigrationMetrics m = mig->metrics();
+  // Smuggle the post-widen throughput out via a copy (cold-read throughput).
+  m.pages_swap_faulted = (ycsb->ops_total() - before) / 30;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablations: VMD server count, descriptors, send window, disk tier");
+
+  // --- A: intermediate host count -----------------------------------------
+  {
+    metrics::Table t({"VMD servers", "migration time (s)", "wire (MiB)",
+                      "post-migration cold-read ops/s"});
+    for (std::uint32_t n : {1u, 2u, 4u}) {
+      auto m = run_pressured_agile(n, 16_GiB / n, 0);
+      t.add_row({std::to_string(n),
+                 metrics::Table::num(to_seconds(m.total_time()), 1),
+                 metrics::Table::num(to_mib(m.bytes_transferred), 0),
+                 std::to_string(m.pages_swap_faulted)});
+    }
+    std::printf("\nA. Server-count independence (paper §V claim):\n%s",
+                t.to_string().c_str());
+  }
+
+  // --- B: descriptors vs shipping cold pages ------------------------------
+  {
+    metrics::Table t({"protocol", "migration time (s)", "wire (MiB)"});
+    for (Technique technique : {Technique::kAgile, Technique::kPostcopy,
+                                Technique::kPrecopy}) {
+      scen::SingleVmOptions opt;
+      opt.technique = technique;
+      opt.host_ram = 2_GiB;
+      opt.vm_memory = 4_GiB;
+      opt.busy = true;
+      scen::SingleVm sc = scen::make_single_vm(opt);
+      sc.prepare();
+      sc.run_migration();
+      const auto& m = sc.migration->metrics();
+      t.add_row({technique == Technique::kAgile
+                     ? "agile (descriptors)"
+                     : (technique == Technique::kPostcopy
+                            ? "cold pages shipped once (post-copy)"
+                            : "cold pages shipped + retransmits (pre-copy)"),
+                 metrics::Table::num(to_seconds(m.total_time()), 1),
+                 metrics::Table::num(to_mib(m.bytes_transferred), 0)});
+    }
+    std::printf("\nB. What the SWAPPED descriptor buys:\n%s", t.to_string().c_str());
+  }
+
+  // --- C: send window -------------------------------------------------------
+  {
+    metrics::Table t({"send window (MiB)", "migration time (s)"});
+    for (Bytes window : {1_MiB, 4_MiB, 16_MiB, 32_MiB, 64_MiB}) {
+      migration::MigrationConfig mc;
+      mc.send_window = window;
+      auto m = run_pressured_agile(1, 16_GiB, 0, mc);
+      t.add_row({metrics::Table::num(to_mib(window), 0),
+                 metrics::Table::num(to_seconds(m.total_time()), 1)});
+    }
+    std::printf("\nC. Stream send window (must cover a scheduling quantum of "
+                "line rate):\n%s",
+                t.to_string().c_str());
+  }
+
+  // --- E: source eviction speed --------------------------------------------
+  {
+    metrics::Table t({"technique", "source freed after (s)", "direct-channel (MiB)"});
+    for (Technique technique :
+         {Technique::kPrecopy, Technique::kPostcopy, Technique::kAgile,
+          Technique::kScatterGather}) {
+      scen::SingleVmOptions opt;
+      opt.technique = technique;
+      // Scatter-gather needs the portable device; reuse Agile's binding.
+      if (technique == Technique::kScatterGather) opt.technique = technique;
+      opt.host_ram = 2_GiB;
+      opt.vm_memory = 4_GiB;
+      opt.busy = true;
+      scen::SingleVm sc = scen::make_single_vm(opt);
+      sc.prepare();
+      sc.run_migration();
+      const auto& m = sc.migration->metrics();
+      t.add_row({core::technique_name(technique),
+                 metrics::Table::num(to_seconds(m.total_time()), 1),
+                 metrics::Table::num(to_mib(m.bytes_transferred), 0)});
+    }
+    std::printf("\nE. Time until the source host is deprovisioned:\n%s",
+                t.to_string().c_str());
+  }
+
+  // --- D: VMD disk tier ------------------------------------------------------
+  {
+    metrics::Table t({"VMD config", "migration time (s)",
+                      "post-migration cold-read ops/s"});
+    auto mem_only = run_pressured_agile(1, 16_GiB, 0);
+    t.add_row({"16 GiB memory", metrics::Table::num(to_seconds(mem_only.total_time()), 1),
+               std::to_string(mem_only.pages_swap_faulted)});
+    auto tiered = run_pressured_agile(1, 1_GiB, 16_GiB);
+    t.add_row({"1 GiB memory + 16 GiB disk",
+               metrics::Table::num(to_seconds(tiered.total_time()), 1),
+               std::to_string(tiered.pages_swap_faulted)});
+    std::printf("\nD. Disk-tier spill (paper §IV-A extension): migration is "
+                "unaffected; cold reads slow down:\n%s",
+                t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+//
+// Every bench prints the paper-style table on stdout and mirrors raw series
+// into CSV files under bench_out/ (override with AGILE_BENCH_OUT). Set
+// AGILE_BENCH_QUICK=1 to run a scaled-down version of each experiment (CI
+// smoke mode — shapes still hold, absolute numbers shrink).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "metrics/table.hpp"
+
+namespace agile::bench {
+
+inline std::string out_dir() {
+  const char* env = std::getenv("AGILE_BENCH_OUT");
+  std::string dir = env != nullptr ? env : "bench_out";
+  metrics::ensure_dir(dir);
+  return dir;
+}
+
+inline bool quick_mode() {
+  const char* env = std::getenv("AGILE_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  if (quick_mode()) std::printf("(quick mode: scaled-down parameters)\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace agile::bench

@@ -1,0 +1,43 @@
+// Figure 7 — total migration time vs VM memory size (2–12 GB) on a 6 GB
+// host, for an idle and a busy VM, under pre-copy, post-copy and Agile.
+//
+// Expected shape (paper §V-B1): pre/post-copy grow with VM size and jump
+// once the VM exceeds host memory (swap-ins, thrashing — much worse busy);
+// Agile stays flat past 6 GB because it never touches the swapped pages.
+//
+// Shares (cached) runs with fig8_data_transferred — the paper derives both
+// figures from the same experiments.
+#include "bench_common.hpp"
+#include "single_vm_runner.hpp"
+
+using namespace agile;
+using core::Technique;
+
+int main() {
+  bench::banner("Figure 7: total migration time vs VM size");
+  const Technique techniques[] = {Technique::kPrecopy, Technique::kPostcopy,
+                                  Technique::kAgile};
+  metrics::Table table({"VM size (GB)", "busy", "technique",
+                        "migration time (s)", "downtime (ms)",
+                        "swap-ins at source"});
+  for (bool busy : {false, true}) {
+    for (Bytes size : bench::single_vm_sizes()) {
+      for (Technique technique : techniques) {
+        bench::CachedRun r = bench::run_single_vm(technique, size, busy);
+        const migration::MigrationMetrics& m = r.migration;
+        table.add_row(
+            {metrics::Table::num(to_gib(size), 1), busy ? "busy" : "idle",
+             core::technique_name(technique),
+             m.completed ? metrics::Table::num(to_seconds(m.total_time()), 1)
+                         : "DNF",
+             metrics::Table::num(static_cast<double>(m.downtime) / 1000.0, 0),
+             std::to_string(m.pages_swapped_in_at_source)});
+      }
+    }
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  table.write_csv(bench::out_dir() + "/fig7_migration_time.csv");
+  bench::note("Expected shape: baselines grow with VM size (busy >> idle past "
+              "host RAM); Agile flat once the VM exceeds host memory.");
+  return 0;
+}

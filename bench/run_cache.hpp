@@ -1,0 +1,97 @@
+// Cross-binary result cache for the bench suite.
+//
+// Tables I–III report three views of the *same six* consolidation
+// experiments, and Figures 7–8 two views of the same 36 single-VM runs. Each
+// experiment is deterministic, so the first binary to need a run executes it
+// and records the outcome under AGILE_BENCH_OUT; the others reuse it. Set
+// AGILE_BENCH_FRESH=1 to ignore and rewrite the cache.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bench_common.hpp"
+#include "migration/migration.hpp"
+
+namespace agile::bench {
+
+struct CachedRun {
+  migration::MigrationMetrics migration;
+  double avg_perf = 0;
+};
+
+inline std::string cache_path(const std::string& key) {
+  return out_dir() + "/cache_" + key + ".txt";
+}
+
+inline bool fresh_mode() {
+  const char* env = std::getenv("AGILE_BENCH_FRESH");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::optional<CachedRun> load_cached(const std::string& key) {
+  if (fresh_mode()) return std::nullopt;
+  std::FILE* f = std::fopen(cache_path(key).c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  CachedRun r;
+  long long start = 0, swo = 0, end = 0, down = 0;
+  unsigned long long bytes = 0, full = 0, desc = 0, demand = 0, swapin = 0,
+                     dup = 0;
+  unsigned rounds = 0;
+  int completed = 0;
+  int n = std::fscanf(f, "%lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %lf",
+                      &start, &swo, &end, &down, &bytes, &full, &desc, &demand,
+                      &swapin, &dup, &rounds, &completed, &r.avg_perf);
+  std::fclose(f);
+  if (n != 13) return std::nullopt;
+  r.migration.start_time = start;
+  r.migration.switchover_time = swo;
+  r.migration.end_time = end;
+  r.migration.downtime = down;
+  r.migration.bytes_transferred = bytes;
+  r.migration.pages_sent_full = full;
+  r.migration.pages_sent_descriptor = desc;
+  r.migration.pages_demand_served = demand;
+  r.migration.pages_swapped_in_at_source = swapin;
+  r.migration.duplicate_pages = dup;
+  r.migration.precopy_rounds = rounds;
+  r.migration.completed = completed != 0;
+  return r;
+}
+
+inline void store_cached(const std::string& key, const CachedRun& r) {
+  std::FILE* f = std::fopen(cache_path(key).c_str(), "w");
+  if (f == nullptr) return;
+  const migration::MigrationMetrics& m = r.migration;
+  std::fprintf(f, "%lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %.17g\n",
+               static_cast<long long>(m.start_time),
+               static_cast<long long>(m.switchover_time),
+               static_cast<long long>(m.end_time),
+               static_cast<long long>(m.downtime),
+               static_cast<unsigned long long>(m.bytes_transferred),
+               static_cast<unsigned long long>(m.pages_sent_full),
+               static_cast<unsigned long long>(m.pages_sent_descriptor),
+               static_cast<unsigned long long>(m.pages_demand_served),
+               static_cast<unsigned long long>(m.pages_swapped_in_at_source),
+               static_cast<unsigned long long>(m.duplicate_pages),
+               m.precopy_rounds, m.completed ? 1 : 0, r.avg_perf);
+  std::fclose(f);
+}
+
+/// Runs `compute` unless a cached result for `key` exists.
+template <typename Fn>
+CachedRun cached_run(const std::string& key, Fn&& compute) {
+  if (auto hit = load_cached(key)) {
+    note("  [" + key + "] from cache (AGILE_BENCH_FRESH=1 to rerun)");
+    return *hit;
+  }
+  note("  [" + key + "] running...");
+  CachedRun r = compute();
+  store_cached(key, r);
+  return r;
+}
+
+}  // namespace agile::bench

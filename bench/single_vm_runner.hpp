@@ -1,0 +1,43 @@
+// Shared (cached) runner for Figures 7–8: migrate a single idle or busy VM
+// of 2–12 GB off a 6 GB host, one run per (technique, size, busy) point.
+#pragma once
+
+#include "bench_common.hpp"
+#include "core/scenarios.hpp"
+#include "run_cache.hpp"
+
+namespace agile::bench {
+
+inline CachedRun run_single_vm(core::Technique technique, Bytes vm_memory,
+                               bool busy) {
+  const bool quick = quick_mode();
+  char key[128];
+  std::snprintf(key, sizeof(key), "singlevm_%s_%llumib_%s%s",
+                core::technique_name(technique),
+                static_cast<unsigned long long>(vm_memory >> 20),
+                busy ? "busy" : "idle", quick ? "_quick" : "");
+  return cached_run(key, [&] {
+    core::scenarios::SingleVmOptions opt;
+    opt.technique = technique;
+    opt.host_ram = quick ? 1_GiB : 6_GiB;
+    opt.vm_memory = vm_memory;
+    opt.busy = busy;
+    if (quick) {
+      opt.guest_os = 32_MiB;
+      opt.free_margin = 64_MiB;
+    }
+    core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
+    sc.prepare();
+    sc.run_migration();
+    CachedRun r;
+    r.migration = sc.migration->metrics();
+    return r;
+  });
+}
+
+inline std::vector<Bytes> single_vm_sizes() {
+  if (quick_mode()) return {512_MiB, 1_GiB, 2_GiB};
+  return {2_GiB, 4_GiB, 6_GiB, 8_GiB, 10_GiB, 12_GiB};
+}
+
+}  // namespace agile::bench

@@ -1,0 +1,37 @@
+// Table I — average application performance across all 4 VMs during the
+// migration window, for YCSB/Redis (ops/s) and Sysbench OLTP (trans/s).
+//
+// Paper reference:
+//   YCSB/Redis (ops/s):  pre-copy 7653, post-copy 14926, Agile 17112
+//   Sysbench (trans/s):  pre-copy 59.84, post-copy 74.74, Agile 89.55
+#include "bench_common.hpp"
+#include "consolidation_runner.hpp"
+
+using namespace agile;
+using core::Technique;
+namespace scen = core::scenarios;
+
+int main() {
+  bench::banner("Table I: average application performance during migration");
+  const Technique techniques[] = {Technique::kPrecopy, Technique::kPostcopy,
+                                  Technique::kAgile};
+  metrics::Table table(
+      {"workload", "pre-copy", "post-copy", "agile", "paper (pre/post/agile)"});
+  for (scen::AppKind app : {scen::AppKind::kYcsb, scen::AppKind::kOltp}) {
+    std::vector<std::string> row;
+    row.push_back(app == scen::AppKind::kYcsb ? "YCSB/Redis (ops/s)"
+                                              : "Sysbench (trans/s)");
+    for (Technique technique : techniques) {
+      bench::ConsolidationRun r = bench::run_consolidation(technique, app);
+      row.push_back(metrics::Table::num(
+          r.avg_perf, app == scen::AppKind::kYcsb ? 0 : 2));
+    }
+    row.push_back(app == scen::AppKind::kYcsb ? "7653 / 14926 / 17112"
+                                              : "59.84 / 74.74 / 89.55");
+    table.add_row(row);
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  table.write_csv(bench::out_dir() + "/table1_app_performance.csv");
+  bench::note("Expected ordering: agile > post-copy > pre-copy on both rows.");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table III — data transferred over the migration channel in the 4-VM
+// consolidation experiment.
+//
+// Paper reference (MB):
+//   YCSB/Redis: pre-copy 15029, post-copy 10268, Agile 8173
+//   Sysbench:   pre-copy 11298, post-copy 10268, Agile 7757
+#include "bench_common.hpp"
+#include "consolidation_runner.hpp"
+
+using namespace agile;
+using core::Technique;
+namespace scen = core::scenarios;
+
+int main() {
+  bench::banner("Table III: amount of data transferred (MB)");
+  const Technique techniques[] = {Technique::kPrecopy, Technique::kPostcopy,
+                                  Technique::kAgile};
+  metrics::Table table(
+      {"workload", "pre-copy", "post-copy", "agile", "paper (pre/post/agile)"});
+  for (scen::AppKind app : {scen::AppKind::kYcsb, scen::AppKind::kOltp}) {
+    std::vector<std::string> row;
+    row.push_back(app == scen::AppKind::kYcsb ? "YCSB/Redis" : "Sysbench");
+    for (Technique technique : techniques) {
+      bench::ConsolidationRun r = bench::run_consolidation(technique, app);
+      row.push_back(metrics::Table::num(to_mib(r.migration.bytes_transferred), 0));
+    }
+    row.push_back(app == scen::AppKind::kYcsb ? "15029 / 10268 / 8173"
+                                              : "11298 / 10268 / 7757");
+    table.add_row(row);
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  table.write_csv(bench::out_dir() + "/table3_data_transferred.csv");
+  bench::note("Expected ordering: pre-copy most (retransmits), agile least "
+              "(cold pages never cross the wire).");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Side-by-side comparison of pre-copy, post-copy and Agile on the same
+// memory-pressured VM — the paper's core claim in one runnable program.
+//
+//   $ ./strategy_compare
+#include <cstdio>
+
+#include "core/scenarios.hpp"
+#include "metrics/table.hpp"
+
+using namespace agile;
+using core::Technique;
+namespace scen = core::scenarios;
+
+int main() {
+  std::printf("Migrating a busy 4 GB VM off a 2 GB host, four ways...\n\n");
+  metrics::Table table({"technique", "total time (s)", "downtime (ms)",
+                        "data on wire (MiB)", "source SSD swap-ins",
+                        "demand faults over network"});
+  for (Technique technique :
+       {Technique::kPrecopy, Technique::kPostcopy, Technique::kAgile,
+        Technique::kScatterGather}) {
+    scen::SingleVmOptions opt;
+    opt.technique = technique;
+    opt.host_ram = 2_GiB;
+    opt.vm_memory = 4_GiB;
+    opt.busy = true;
+    scen::SingleVm sc = scen::make_single_vm(opt);
+    sc.prepare();
+    sc.run_migration();
+    const migration::MigrationMetrics& m = sc.migration->metrics();
+    table.add_row({core::technique_name(technique),
+                   metrics::Table::num(to_seconds(m.total_time()), 1),
+                   metrics::Table::num(static_cast<double>(m.downtime) / 1000.0, 0),
+                   metrics::Table::num(to_mib(m.bytes_transferred), 0),
+                   std::to_string(m.pages_swapped_in_at_source),
+                   std::to_string(m.pages_demand_served)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Agile wins on application impact: it neither swaps cold pages in at\n"
+      "the source nor ships them over the migration channel — they stay on\n"
+      "the per-VM swap device, reachable from the destination. Scatter-gather\n"
+      "frees the source even faster by scattering the resident set through\n"
+      "the intermediaries too, trading a longer degradation tail at the\n"
+      "destination (every hot page must come back out of the VMD).\n");
+  return 0;
+}

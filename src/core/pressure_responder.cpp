@@ -1,0 +1,97 @@
+#include "core/pressure_responder.hpp"
+
+#include "util/log.hpp"
+
+namespace agile::core {
+
+PressureResponder::PressureResponder(Testbed* testbed,
+                                     PressureResponderConfig config)
+    : testbed_(testbed), config_(config) {
+  AGILE_CHECK(testbed_ != nullptr);
+}
+
+PressureResponder::~PressureResponder() { stop(); }
+
+void PressureResponder::track(VmHandle* handle) {
+  AGILE_CHECK(handle != nullptr);
+  AGILE_CHECK_MSG(handle->per_vm_swap != nullptr,
+                  "pressure response requires per-VM swap devices");
+  AGILE_CHECK_MSG(monitor_ == nullptr, "track VMs before start()");
+  entries_.push_back({handle, std::make_unique<wss::ReservationController>(
+                                  &testbed_->cluster(), handle->machine,
+                                  config_.wss)});
+}
+
+void PressureResponder::start() {
+  AGILE_CHECK_MSG(monitor_ == nullptr, "already started");
+  started_at_ = testbed_->cluster().simulation().now();
+  for (Entry& e : entries_) e.controller->start();
+  monitor_ = testbed_->cluster().simulation().schedule_periodic(
+      config_.check_interval, [this](SimTime now) { evaluate(now); });
+}
+
+void PressureResponder::stop() {
+  if (monitor_ != nullptr) {
+    monitor_->cancel();
+    monitor_.reset();
+  }
+  for (Entry& e : entries_) e.controller->stop();
+}
+
+Bytes PressureResponder::wss_estimate(const VmHandle* handle) const {
+  for (const Entry& e : entries_) {
+    if (e.handle == handle) return e.controller->wss_estimate();
+  }
+  AGILE_CHECK_MSG(false, "VM not tracked");
+  return 0;
+}
+
+bool PressureResponder::migration_in_flight() const {
+  for (const auto& m : migrations_) {
+    if (!m->completed()) return true;
+  }
+  return false;
+}
+
+void PressureResponder::evaluate(SimTime now) {
+  if (now - started_at_ < config_.warmup) return;
+  if (config_.wait_for_stable_estimates && !estimates_ready_) {
+    for (const Entry& e : entries_) {
+      if (!e.controller->stable()) return;
+    }
+    estimates_ready_ = true;  // one-shot gate: later instability is pressure
+  }
+  // One migration at a time: they share the migration channel, and each
+  // departure changes the pressure picture.
+  if (migration_in_flight()) return;
+
+  host::Host* source = testbed_->source();
+  std::vector<wss::VmPressure> pressures;
+  std::vector<Entry*> present;
+  for (Entry& e : entries_) {
+    if (!source->has_vm(e.handle->machine)) continue;
+    pressures.push_back({e.handle->machine->name(), e.controller->wss_estimate()});
+    present.push_back(&e);
+  }
+  last_decision_ = wss::evaluate_watermarks(source->ram(),
+                                       source->config().host_os_bytes,
+                                       pressures, config_.watermarks);
+  if (!last_decision_.pressure || last_decision_.victims.empty()) return;
+
+  // Launch the first victim now; the rest will be picked up on subsequent
+  // evaluations if pressure persists after this migration completes.
+  Entry* victim = present[last_decision_.victims.front()];
+  AGILE_LOG_INFO(
+      "pressure responder: aggregate WSS %.1f GiB over the high watermark; "
+      "migrating %s (WSS %.1f GiB)",
+      to_gib(last_decision_.aggregate_wss),
+      victim->handle->machine->name().c_str(),
+      to_gib(victim->controller->wss_estimate()));
+  migrations_.push_back(testbed_->make_migration(
+      Technique::kAgile, *victim->handle,
+      victim->controller->wss_estimate()));
+  migrations_.back()->start();
+  if (on_migration_) on_migration_(victim->handle);
+}
+
+}  // namespace agile::core

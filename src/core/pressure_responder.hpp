@@ -1,0 +1,91 @@
+// Closed-loop memory-pressure response (paper §III-B, automated).
+//
+// A PressureResponder owns the whole loop the paper describes: it watches
+// the aggregate working-set estimate of every tracked VM on one host,
+// detects high-watermark crossings, selects the fewest VMs whose departure
+// brings the aggregate under the low watermark, and launches Agile
+// migrations for them (serially — the migration channel is shared). After a
+// migration the VM's reservation at the destination equals its tracked WSS,
+// so the destination admits exactly the working set.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "wss/reservation_controller.hpp"
+#include "wss/watermark_trigger.hpp"
+
+namespace agile::core {
+
+struct PressureResponderConfig {
+  wss::WatermarkConfig watermarks;
+  SimTime check_interval = sec(10);
+  /// Grace period after start before the first evaluation (lets the
+  /// reservation controllers converge on initial estimates).
+  SimTime warmup = sec(30);
+  /// Additionally hold off until every tracked controller has reached its
+  /// first stable estimate — initial cgroup reservations are not working
+  /// sets, and acting on them migrates the wrong VM.
+  bool wait_for_stable_estimates = true;
+  wss::WssConfig wss;  ///< Controller parameters applied to every tracked VM.
+};
+
+class PressureResponder {
+ public:
+  PressureResponder(Testbed* testbed, PressureResponderConfig config = {});
+  ~PressureResponder();
+
+  PressureResponder(const PressureResponder&) = delete;
+  PressureResponder& operator=(const PressureResponder&) = delete;
+
+  /// Registers a VM for tracking + eligibility for migration. Must use a
+  /// per-VM swap device (Agile migration requires it).
+  void track(VmHandle* handle);
+
+  /// Starts the controllers and the watermark monitor.
+  void start();
+  void stop();
+
+  std::size_t tracked_count() const { return entries_.size(); }
+
+  /// Working-set estimate for a tracked VM.
+  Bytes wss_estimate(const VmHandle* handle) const;
+
+  /// Migrations launched so far (completed or in flight, launch order).
+  const std::vector<std::unique_ptr<migration::MigrationManager>>& migrations()
+      const {
+    return migrations_;
+  }
+  std::size_t migrations_launched() const { return migrations_.size(); }
+  bool migration_in_flight() const;
+
+  /// Most recent watermark evaluation (for observability).
+  const wss::TriggerDecision& last_decision() const { return last_decision_; }
+
+  /// Optional callback fired when a migration is launched.
+  void set_on_migration(std::function<void(VmHandle*)> fn) {
+    on_migration_ = std::move(fn);
+  }
+
+ private:
+  struct Entry {
+    VmHandle* handle;
+    std::unique_ptr<wss::ReservationController> controller;
+  };
+
+  void evaluate(SimTime now);
+
+  Testbed* testbed_;
+  PressureResponderConfig config_;
+  std::vector<Entry> entries_;
+  std::vector<std::unique_ptr<migration::MigrationManager>> migrations_;
+  std::shared_ptr<sim::PeriodicTask> monitor_;
+  SimTime started_at_ = -1;
+  bool estimates_ready_ = false;
+  wss::TriggerDecision last_decision_;
+  std::function<void(VmHandle*)> on_migration_;
+};
+
+}  // namespace agile::core

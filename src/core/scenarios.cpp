@@ -1,0 +1,215 @@
+#include "core/scenarios.hpp"
+
+#include <algorithm>
+
+namespace agile::core::scenarios {
+
+namespace {
+
+SwapBinding binding_for(Technique technique) {
+  bool portable = technique == Technique::kAgile ||
+                  technique == Technique::kScatterGather;
+  return portable ? SwapBinding::kPerVmDevice : SwapBinding::kHostPartition;
+}
+
+// Datasets are loaded before the paper's measurement window opens; drain the
+// write-behind backlog the bulk load left on the SSD so t=0 starts clean.
+void drain_ssd(Testbed& bed) {
+  bed.source()->ssd()->advance(sec(36000));
+  bed.dest()->ssd()->advance(sec(36000));
+}
+
+}  // namespace
+
+Consolidation make_consolidation(const ConsolidationOptions& options) {
+  Consolidation scenario;
+  scenario.options = options;
+
+  TestbedConfig cfg;
+  cfg.cluster.seed = options.seed;
+  cfg.source.ram = options.host_ram;
+  cfg.source.host_os_bytes = 200_MiB;
+  cfg.dest = cfg.source;
+  cfg.dest.name = "dest";
+  scenario.bed = std::make_unique<Testbed>(cfg);
+  Testbed& bed = *scenario.bed;
+
+  for (std::uint32_t i = 0; i < options.vm_count; ++i) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    spec.memory = options.vm_memory;
+    spec.reservation = options.reservation;
+    spec.vcpus = 2;
+    spec.swap = binding_for(options.technique);
+    VmHandle& h = bed.create_vm(spec);
+    scenario.handles.push_back(&h);
+
+    std::unique_ptr<workload::Workload> load;
+    if (options.app == AppKind::kYcsb) {
+      workload::YcsbConfig ycfg;
+      ycfg.dataset_bytes = options.dataset;
+      ycfg.guest_os_bytes = options.guest_os;
+      ycfg.active_bytes = options.initial_active;
+      ycfg.read_fraction = options.read_fraction;
+      load = std::make_unique<workload::YcsbWorkload>(
+          h.machine, &bed.cluster().network(), bed.client_node(), ycfg,
+          bed.make_rng(spec.name + "/ycsb"));
+    } else {
+      workload::OltpConfig ocfg;
+      ocfg.dataset_bytes = options.dataset;
+      ocfg.guest_os_bytes = options.guest_os;
+      load = std::make_unique<workload::OltpWorkload>(
+          h.machine, &bed.cluster().network(), bed.client_node(), ocfg,
+          bed.make_rng(spec.name + "/oltp"));
+    }
+    scenario.loads.push_back(load.get());
+    bed.attach_workload(h, std::move(load));
+    scenario.probes.push_back(std::make_unique<ThroughputProbe>(
+        &bed.cluster(), scenario.loads.back(), spec.name));
+  }
+  return scenario;
+}
+
+void Consolidation::load_all() {
+  for (workload::Workload* load : loads) load->load(0);
+  drain_ssd(*bed);
+}
+
+void Consolidation::schedule_ramp(SimTime ramp_start, SimTime ramp_step) {
+  if (options.app != AppKind::kYcsb) return;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    auto* ycsb = static_cast<workload::YcsbWorkload*>(loads[i]);
+    Bytes target = options.ramped_active;
+    bed->cluster().simulation().schedule_at(
+        ramp_start + static_cast<SimTime>(i) * ramp_step,
+        [ycsb, target] { ycsb->set_active_bytes(target); });
+  }
+}
+
+void Consolidation::schedule_migration(SimTime at) {
+  migration = bed->make_migration(options.technique, *handles[0]);
+  migration::MigrationManager* mig = migration.get();
+  bed->cluster().simulation().schedule_at(at, [mig] { mig->start(); });
+}
+
+metrics::TimeSeries Consolidation::average_throughput() const {
+  metrics::TimeSeries avg("avg_throughput");
+  if (probes.empty()) return avg;
+  const metrics::TimeSeries& first = probes[0]->series();
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    double t = first[i].t;
+    double sum = 0;
+    for (const auto& probe : probes) sum += probe->series().value_at(t);
+    avg.add(t, sum / static_cast<double>(probes.size()));
+  }
+  return avg;
+}
+
+SingleVm make_single_vm(const SingleVmOptions& options) {
+  SingleVm scenario;
+  scenario.options = options;
+
+  TestbedConfig cfg;
+  cfg.cluster.seed = options.seed;
+  cfg.source.ram = options.host_ram;
+  cfg.source.host_os_bytes = 500_MiB;
+  cfg.dest = cfg.source;
+  cfg.dest.name = "dest";
+  scenario.bed = std::make_unique<Testbed>(cfg);
+  Testbed& bed = *scenario.bed;
+
+  Bytes reservation =
+      std::min(options.vm_memory, options.host_ram - cfg.source.host_os_bytes);
+  VmSpec spec;
+  spec.name = "vm0";
+  spec.memory = options.vm_memory;
+  spec.reservation = reservation;
+  spec.vcpus = 2;
+  spec.swap = binding_for(options.technique);
+  scenario.handle = &bed.create_vm(spec);
+
+  if (options.busy) {
+    // "Busy VM runs a Redis server with a dataset almost as large as the
+    // memory size leaving only 500MB of free memory."
+    AGILE_CHECK_MSG(options.vm_memory > options.free_margin + options.guest_os,
+                    "busy VM too small for dataset + margin");
+    workload::YcsbConfig ycfg;
+    ycfg.dataset_bytes =
+        options.vm_memory - options.free_margin - options.guest_os;
+    ycfg.guest_os_bytes = options.guest_os;
+    ycfg.active_bytes = ycfg.dataset_bytes;
+    ycfg.read_fraction = 0.7;  // update-heavy enough to matter for pre-copy
+    auto load = std::make_unique<workload::YcsbWorkload>(
+        scenario.handle->machine, &bed.cluster().network(), bed.client_node(),
+        ycfg, bed.make_rng("vm0/ycsb"));
+    scenario.ycsb = load.get();
+    bed.attach_workload(*scenario.handle, std::move(load));
+  }
+  return scenario;
+}
+
+void SingleVm::prepare() {
+  if (ycsb != nullptr) {
+    ycsb->load(0);
+  } else {
+    // An idle VM's memory is still in use (page cache etc.): the baselines
+    // must transfer it all, which is what makes Fig. 7/8 linear in VM size.
+    handle->machine->memory().prefill(handle->machine->page_count(), 0);
+  }
+  drain_ssd(*bed);
+  bed->cluster().run_for_seconds(5);
+}
+
+void SingleVm::run_migration(double limit_s) {
+  migration = bed->make_migration(options.technique, *handle);
+  migration->start();
+  double deadline = bed->cluster().now_seconds() + limit_s;
+  while (!migration->completed() && bed->cluster().now_seconds() < deadline) {
+    bed->cluster().run_for_seconds(1.0);
+  }
+}
+
+WssTracking make_wss_tracking(const WssTrackingOptions& options) {
+  WssTracking scenario;
+  scenario.options = options;
+
+  TestbedConfig cfg;
+  cfg.cluster.seed = options.seed;
+  cfg.source.ram = options.host_ram;
+  cfg.dest = cfg.source;
+  cfg.dest.name = "dest";
+  scenario.bed = std::make_unique<Testbed>(cfg);
+  Testbed& bed = *scenario.bed;
+
+  VmSpec spec;
+  spec.name = "vm0";
+  spec.memory = options.vm_memory;
+  spec.reservation = options.initial_reservation;
+  spec.vcpus = 2;
+  spec.swap = SwapBinding::kPerVmDevice;  // the tool reads per-VM iostat
+  scenario.handle = &bed.create_vm(spec);
+
+  workload::YcsbConfig ycfg;
+  ycfg.dataset_bytes = options.dataset;
+  ycfg.guest_os_bytes = options.guest_os;
+  ycfg.active_bytes = options.dataset;
+  ycfg.read_fraction = 0.95;
+  auto load = std::make_unique<workload::YcsbWorkload>(
+      scenario.handle->machine, &bed.cluster().network(), bed.client_node(),
+      ycfg, bed.make_rng("vm0/ycsb"));
+  scenario.ycsb = load.get();
+  bed.attach_workload(*scenario.handle, std::move(load));
+
+  scenario.controller = std::make_unique<wss::ReservationController>(
+      &bed.cluster(), scenario.handle->machine, options.wss);
+  scenario.probe = std::make_unique<ThroughputProbe>(&bed.cluster(),
+                                                     scenario.ycsb, "ycsb");
+  return scenario;
+}
+
+void WssTracking::load() {
+  ycsb->load(0);
+  bed->source()->ssd()->advance(sec(36000));
+}
+
+}  // namespace agile::core::scenarios

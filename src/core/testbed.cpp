@@ -1,0 +1,167 @@
+#include "core/testbed.hpp"
+
+namespace agile::core {
+
+const char* technique_name(Technique technique) {
+  switch (technique) {
+    case Technique::kPrecopy: return "pre-copy";
+    case Technique::kPostcopy: return "post-copy";
+    case Technique::kAgile: return "agile";
+    case Technique::kScatterGather: return "scatter-gather";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config), cluster_(config.cluster) {
+  source_ = cluster_.add_host(config_.source);
+  dest_ = cluster_.add_host(config_.dest);
+  client_node_ = cluster_.add_client_node("clients");
+  for (std::uint32_t i = 0; i < config_.vmd_servers; ++i) {
+    std::string name = "intermediate" + std::to_string(i + 1);
+    net::NodeId node = cluster_.add_client_node(name);
+    vmd::VmdServerConfig server_cfg;
+    server_cfg.capacity = config_.vmd_server_capacity;
+    server_cfg.service_time = 3;
+    server_cfg.disk_capacity = config_.vmd_server_disk;
+    vmd_servers_.push_back(
+        std::make_unique<vmd::VmdServer>(name, node, server_cfg));
+  }
+  if (!vmd_servers_.empty()) {
+    // Intermediate hosts are not full Host objects; drain their (optional)
+    // disk-tier queues from the cluster quantum loop.
+    cluster_.add_control_hook([this](SimTime, SimTime dt, std::uint32_t) {
+      for (auto& server : vmd_servers_) server->advance(dt);
+    });
+  }
+}
+
+VmHandle& Testbed::create_vm(const VmSpec& spec) {
+  Bytes reservation = spec.reservation == 0 ? spec.memory : spec.reservation;
+  auto handle = std::make_unique<VmHandle>();
+
+  swap::SwapDevice* swap_device = nullptr;
+  if (spec.swap == SwapBinding::kPerVmDevice) {
+    AGILE_CHECK_MSG(!vmd_servers_.empty(),
+                    "per-VM swap requested but the testbed has no VMD servers");
+    // One client module per VM keeps the namespace attachment portable
+    // independently of other VMs on the host.
+    auto client = std::make_unique<vmd::VmdClient>(&cluster_.network(),
+                                                   source_->node());
+    for (auto& server : vmd_servers_) client->register_server(server.get());
+    Bytes capacity = spec.per_vm_swap_capacity == 0 ? 2 * spec.memory
+                                                    : spec.per_vm_swap_capacity;
+    auto device = std::make_unique<vmd::VmdSwapDevice>("blk:" + spec.name,
+                                                       client.get(), capacity);
+    swap_device = device.get();
+    handle->vmd_client = client.get();
+    handle->per_vm_swap = device.get();
+    heartbeats_.push_back(cluster_.simulation().schedule_periodic(
+        config_.vmd_heartbeat,
+        [c = client.get()](SimTime) { c->update_availability(); }));
+    vmd_clients_.push_back(std::move(client));
+    vmd_devices_.push_back(std::move(device));
+  } else {
+    swap_device = source_->swap_partition();
+  }
+
+  mem::GuestMemoryConfig mem_cfg;
+  mem_cfg.size = spec.memory;
+  mem_cfg.reservation = reservation;
+  auto memory = std::make_unique<mem::GuestMemory>(
+      mem_cfg, swap_device, cluster_.make_rng(spec.name + "/mem"));
+
+  vm::VmConfig vm_cfg;
+  vm_cfg.name = spec.name;
+  vm_cfg.memory = spec.memory;
+  vm_cfg.reservation = reservation;
+  vm_cfg.vcpus = spec.vcpus;
+  handle->machine = cluster_.adopt_vm(std::make_unique<vm::VirtualMachine>(
+      vm_cfg, std::move(memory), source_->node()));
+  source_->attach_vm(handle->machine, nullptr);
+
+  vms_.push_back(std::move(handle));
+  return *vms_.back();
+}
+
+void Testbed::attach_workload(VmHandle& handle,
+                              std::unique_ptr<workload::Workload> load) {
+  AGILE_CHECK_MSG(handle.load == nullptr, "VM already has a workload");
+  handle.load = cluster_.adopt_workload(std::move(load));
+  // Re-attach so the host runs the workload each quantum.
+  host::Host* where = source_->has_vm(handle.machine) ? source_ : dest_;
+  where->detach_vm(handle.machine);
+  where->attach_vm(handle.machine, handle.load);
+}
+
+std::unique_ptr<migration::MigrationManager> Testbed::make_migration(
+    Technique technique, VmHandle& handle, Bytes dest_reservation,
+    migration::MigrationConfig config) {
+  migration::MigrationParams params;
+  params.machine = handle.machine;
+  params.load = handle.load;
+  params.source = source_;
+  params.dest = dest_;
+  params.dest_reservation = dest_reservation == 0
+                                ? handle.machine->memory().reservation()
+                                : dest_reservation;
+  switch (technique) {
+    case Technique::kPrecopy:
+      params.dest_swap = dest_->swap_partition();
+      return std::make_unique<migration::PrecopyMigration>(&cluster_, params,
+                                                           config);
+    case Technique::kPostcopy:
+      params.dest_swap = dest_->swap_partition();
+      return std::make_unique<migration::PostcopyMigration>(&cluster_, params,
+                                                            config);
+    case Technique::kAgile: {
+      AGILE_CHECK_MSG(handle.per_vm_swap != nullptr,
+                      "Agile migration needs a per-VM swap device");
+      params.dest_swap = handle.per_vm_swap;
+      auto migration = std::make_unique<migration::AgileMigration>(&cluster_,
+                                                                   params, config);
+      // Disconnect the per-VM device from the source and attach it at the
+      // destination the moment execution flips (paper §IV-B).
+      vmd::VmdSwapDevice* device = handle.per_vm_swap;
+      net::NodeId dest_node = dest_->node();
+      migration->set_on_switchover(
+          [device, dest_node] { device->attach_to(dest_node); });
+      return migration;
+    }
+    case Technique::kScatterGather: {
+      AGILE_CHECK_MSG(handle.per_vm_swap != nullptr,
+                      "scatter-gather needs a per-VM swap device");
+      params.dest_swap = handle.per_vm_swap;
+      auto migration = std::make_unique<migration::ScatterGatherMigration>(
+          &cluster_, params, config);
+      vmd::VmdSwapDevice* device = handle.per_vm_swap;
+      net::NodeId dest_node = dest_->node();
+      migration->set_on_switchover(
+          [device, dest_node] { device->attach_to(dest_node); });
+      return migration;
+    }
+  }
+  AGILE_CHECK_MSG(false, "unknown technique");
+  return nullptr;
+}
+
+ThroughputProbe::ThroughputProbe(host::Cluster* cluster,
+                                 const workload::Workload* load,
+                                 std::string name, SimTime interval)
+    : cluster_(cluster),
+      load_(load),
+      interval_(interval),
+      series_(std::move(name)) {
+  AGILE_CHECK(cluster_ != nullptr && load_ != nullptr);
+  last_ops_ = load_->ops_total();
+  task_ = cluster_->simulation().schedule_periodic(interval_, [this](SimTime now) {
+    std::uint64_t ops = load_->ops_total();
+    double rate = static_cast<double>(ops - last_ops_) / to_seconds(interval_);
+    last_ops_ = ops;
+    series_.add(to_seconds(now), rate);
+  });
+}
+
+ThroughputProbe::~ThroughputProbe() { task_->cancel(); }
+
+}  // namespace agile::core

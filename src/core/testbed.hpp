@@ -1,0 +1,134 @@
+// Public facade: the paper's testbed in one object.
+//
+// A `Testbed` assembles the three-host setup of §V — a source, a destination,
+// an external client machine, and one or more intermediate hosts contributing
+// memory to the VMD — and offers factories for VMs (with either a baseline
+// host-level swap binding or an Agile per-VM VMD namespace) and for
+// migrations of each technique. Benches and examples build everything
+// through this API.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/cluster.hpp"
+#include "metrics/timeseries.hpp"
+#include "migration/agile.hpp"
+#include "migration/postcopy.hpp"
+#include "migration/precopy.hpp"
+#include "migration/scatter_gather.hpp"
+#include "vmd/vmd_swap_device.hpp"
+
+namespace agile::core {
+
+enum class Technique { kPrecopy, kPostcopy, kAgile, kScatterGather };
+
+const char* technique_name(Technique technique);
+
+inline host::HostConfig named_host(std::string name) {
+  host::HostConfig cfg;
+  cfg.name = std::move(name);
+  return cfg;
+}
+
+struct TestbedConfig {
+  host::ClusterConfig cluster;
+  host::HostConfig source = named_host("source");
+  host::HostConfig dest = named_host("dest");
+  std::uint32_t vmd_servers = 1;        ///< Intermediate hosts.
+  Bytes vmd_server_capacity = 64_GiB;   ///< Free memory each contributes.
+  Bytes vmd_server_disk = 0;            ///< Optional disk tier per server.
+  SimTime vmd_heartbeat = sec(1);       ///< Availability update period.
+};
+
+/// How a VM's cold pages are stored.
+enum class SwapBinding {
+  kHostPartition,  ///< Shared system-wide swap on the host SSD (baselines).
+  kPerVmDevice,    ///< Private, portable VMD namespace (Agile).
+};
+
+struct VmSpec {
+  std::string name = "vm";
+  Bytes memory = 10_GiB;
+  Bytes reservation = 0;  ///< 0: same as memory (uncapped).
+  std::uint32_t vcpus = 2;
+  SwapBinding swap = SwapBinding::kHostPartition;
+  Bytes per_vm_swap_capacity = 0;  ///< 0: 2× memory.
+};
+
+/// Everything the testbed knows about one VM.
+struct VmHandle {
+  vm::VirtualMachine* machine = nullptr;
+  workload::Workload* load = nullptr;          ///< Null until attached.
+  vmd::VmdSwapDevice* per_vm_swap = nullptr;   ///< Null for host binding.
+  vmd::VmdClient* vmd_client = nullptr;        ///< Null for host binding.
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  host::Cluster& cluster() { return cluster_; }
+  host::Host* source() { return source_; }
+  host::Host* dest() { return dest_; }
+  net::NodeId client_node() const { return client_node_; }
+
+  std::size_t vmd_server_count() const { return vmd_servers_.size(); }
+  vmd::VmdServer* vmd_server_at(std::size_t i) { return vmd_servers_[i].get(); }
+
+  /// Creates a VM on the source host (no workload yet).
+  VmHandle& create_vm(const VmSpec& spec);
+
+  std::size_t vm_count() const { return vms_.size(); }
+  VmHandle& vm_at(std::size_t i) { return *vms_[i]; }
+
+  /// Binds a workload to the VM (it will run whenever the VM runs).
+  /// Typical construction: testbed.attach_workload(h,
+  ///     std::make_unique<workload::YcsbWorkload>(h.machine, &net, client, cfg, rng)).
+  void attach_workload(VmHandle& handle,
+                       std::unique_ptr<workload::Workload> load);
+
+  /// Creates (but does not start) a migration of `handle`'s VM from source to
+  /// dest. `dest_reservation` of 0 keeps the current cgroup reservation.
+  /// Agile requires the VM to use a per-VM swap device.
+  std::unique_ptr<migration::MigrationManager> make_migration(
+      Technique technique, VmHandle& handle, Bytes dest_reservation = 0,
+      migration::MigrationConfig config = {});
+
+  /// Shorthand used everywhere in the benches.
+  Rng make_rng(std::string_view tag) { return cluster_.make_rng(tag); }
+
+ private:
+  TestbedConfig config_;
+  host::Cluster cluster_;
+  host::Host* source_;
+  host::Host* dest_;
+  net::NodeId client_node_;
+  std::vector<std::unique_ptr<vmd::VmdServer>> vmd_servers_;
+  std::vector<std::unique_ptr<vmd::VmdClient>> vmd_clients_;
+  std::vector<std::unique_ptr<vmd::VmdSwapDevice>> vmd_devices_;
+  std::vector<std::unique_ptr<VmHandle>> vms_;
+  std::vector<std::shared_ptr<sim::PeriodicTask>> heartbeats_;
+};
+
+/// Samples a workload's throughput (ops/s) once a second into a TimeSeries —
+/// the probe behind every timeline figure.
+class ThroughputProbe {
+ public:
+  ThroughputProbe(host::Cluster* cluster, const workload::Workload* load,
+                  std::string name, SimTime interval = sec(1));
+  ~ThroughputProbe();
+
+  const metrics::TimeSeries& series() const { return series_; }
+
+ private:
+  host::Cluster* cluster_;
+  const workload::Workload* load_;
+  SimTime interval_;
+  std::uint64_t last_ops_ = 0;
+  std::shared_ptr<sim::PeriodicTask> task_;
+  metrics::TimeSeries series_;
+};
+
+}  // namespace agile::core

@@ -1,0 +1,94 @@
+#include "host/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace agile::host {
+
+namespace {
+// Lets the logger print simulated time; only one Cluster is expected to be
+// live per process (tests create them sequentially).
+sim::Simulation* g_active_sim = nullptr;
+std::int64_t active_sim_now() { return g_active_sim ? g_active_sim->now() : 0; }
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), net_(config.network) {
+  AGILE_CHECK(config_.quantum > 0);
+  g_active_sim = &sim_;
+  log::set_time_source(&active_sim_now);
+  quantum_task_ = sim_.schedule_periodic(
+      config_.quantum, [this](SimTime now) { quantum(now); });
+}
+
+Cluster::~Cluster() {
+  quantum_task_->cancel();
+  if (g_active_sim == &sim_) {
+    g_active_sim = nullptr;
+    log::set_time_source(nullptr);
+  }
+}
+
+Host* Cluster::add_host(HostConfig config) {
+  hosts_.push_back(std::make_unique<Host>(&net_, std::move(config)));
+  return hosts_.back().get();
+}
+
+vm::VirtualMachine* Cluster::adopt_vm(
+    std::unique_ptr<vm::VirtualMachine> machine) {
+  vms_.push_back(std::move(machine));
+  return vms_.back().get();
+}
+
+workload::Workload* Cluster::adopt_workload(
+    std::unique_ptr<workload::Workload> load) {
+  workloads_.push_back(std::move(load));
+  return workloads_.back().get();
+}
+
+std::uint64_t Cluster::add_control_hook(Hook hook) {
+  control_hooks_.push_back({next_hook_id_, std::move(hook)});
+  return next_hook_id_++;
+}
+
+std::uint64_t Cluster::add_observer_hook(Hook hook) {
+  observer_hooks_.push_back({next_hook_id_, std::move(hook)});
+  return next_hook_id_++;
+}
+
+void Cluster::remove_hook(std::uint64_t id) {
+  auto drop = [id](std::vector<HookEntry>& hooks) {
+    hooks.erase(std::remove_if(hooks.begin(), hooks.end(),
+                               [id](const HookEntry& h) { return h.id == id; }),
+                hooks.end());
+  };
+  drop(control_hooks_);
+  drop(observer_hooks_);
+}
+
+void Cluster::quantum(SimTime now) {
+  ++tick_index_;
+  const SimTime dt = config_.quantum;
+  for (auto& h : hosts_) h->run_workloads(dt, tick_index_);
+  // Hooks may unregister themselves (or others) while running; iterate over
+  // a snapshot of ids and re-check liveness.
+  auto run_hooks = [&](std::vector<HookEntry>& hooks) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(hooks.size());
+    for (const HookEntry& h : hooks) ids.push_back(h.id);
+    for (std::uint64_t id : ids) {
+      auto it = std::find_if(hooks.begin(), hooks.end(),
+                             [id](const HookEntry& h) { return h.id == id; });
+      if (it != hooks.end()) it->fn(now, dt, tick_index_);
+    }
+  };
+  run_hooks(control_hooks_);
+  for (auto& h : hosts_) h->run_maintenance(dt);
+  net_.advance(dt);
+  run_hooks(observer_hooks_);
+}
+
+void Cluster::run_until(SimTime t) { sim_.run_until(t); }
+
+}  // namespace agile::host

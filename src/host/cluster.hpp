@@ -1,0 +1,101 @@
+// Cluster: the simulation harness tying hosts, network and VMs together.
+//
+// One periodic "quantum" event drives the whole system in a fixed, documented
+// order, so runs are deterministic:
+//
+//   1. every host runs its guest workloads (accesses hit memory/swap/faults),
+//   2. control hooks run (migration state machines, WSS controllers),
+//   3. hosts run maintenance (bounded reclaim, SSD queue drain),
+//   4. the network advances (flow deliveries fire — pages land at the
+//      destination),
+//   5. observer hooks run (metric sampling).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "host/host.hpp"
+#include "sim/simulation.hpp"
+#include "vm/virtual_machine.hpp"
+#include "workload/workload.hpp"
+
+namespace agile::host {
+
+struct ClusterConfig {
+  SimTime quantum = msec(100);
+  std::uint64_t seed = 42;
+  net::NetworkConfig network;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& simulation() { return sim_; }
+  net::Network& network() { return net_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Quantum index (the LRU clock ticks once per quantum).
+  std::uint32_t tick_index() const { return tick_index_; }
+  double now_seconds() const { return to_seconds(sim_.now()); }
+
+  /// Fresh deterministic RNG stream for a component.
+  Rng make_rng(std::string_view tag) { return Rng(config_.seed, tag); }
+
+  Host* add_host(HostConfig config);
+  std::size_t host_count() const { return hosts_.size(); }
+  Host* host_at(std::size_t i) const { return hosts_[i].get(); }
+
+  /// A network endpoint that is not a simulated host (e.g. the external
+  /// machine YCSB clients run on).
+  net::NodeId add_client_node(const std::string& name) {
+    return net_.add_node(name);
+  }
+
+  /// Takes ownership of a VM / workload (they outlive migrations and hosts'
+  /// attach/detach cycles).
+  vm::VirtualMachine* adopt_vm(std::unique_ptr<vm::VirtualMachine> machine);
+  workload::Workload* adopt_workload(std::unique_ptr<workload::Workload> load);
+
+  using Hook = std::function<void(SimTime now, SimTime dt, std::uint32_t tick)>;
+
+  /// Runs in phase 2 (after workloads, before device maintenance). Returns an
+  /// id usable with `remove_hook`.
+  std::uint64_t add_control_hook(Hook hook);
+  /// Runs in phase 5 (after network deliveries).
+  std::uint64_t add_observer_hook(Hook hook);
+  void remove_hook(std::uint64_t id);
+
+  /// Runs the simulation until simulated time `t`.
+  void run_until(SimTime t);
+
+  /// Runs `seconds` more of simulated time.
+  void run_for_seconds(double seconds) { run_until(sim_.now() + sec(seconds)); }
+
+ private:
+  void quantum(SimTime now);
+
+  struct HookEntry {
+    std::uint64_t id;
+    Hook fn;
+  };
+
+  ClusterConfig config_;
+  sim::Simulation sim_;
+  net::Network net_;
+  std::uint32_t tick_index_ = 0;
+  std::uint64_t next_hook_id_ = 1;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<vm::VirtualMachine>> vms_;
+  std::vector<std::unique_ptr<workload::Workload>> workloads_;
+  std::vector<HookEntry> control_hooks_;
+  std::vector<HookEntry> observer_hooks_;
+  std::shared_ptr<sim::PeriodicTask> quantum_task_;
+};
+
+}  // namespace agile::host

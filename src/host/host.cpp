@@ -1,0 +1,56 @@
+#include "host/host.hpp"
+
+#include <algorithm>
+
+namespace agile::host {
+
+Host::Host(net::Network* network, HostConfig config)
+    : config_(std::move(config)) {
+  AGILE_CHECK(network != nullptr);
+  node_ = network->add_node(config_.name);
+  ssd_ = std::make_shared<storage::SsdModel>(config_.ssd);
+  swap_partition_ = std::make_unique<swap::LocalSwapDevice>(
+      config_.name + ":swap", ssd_, config_.swap_partition_bytes);
+}
+
+void Host::attach_vm(vm::VirtualMachine* machine, workload::Workload* load) {
+  AGILE_CHECK(machine != nullptr);
+  AGILE_CHECK_MSG(!has_vm(machine), "VM already attached");
+  machine->set_host_node(node_);
+  vms_.push_back({machine, load});
+}
+
+void Host::detach_vm(vm::VirtualMachine* machine) {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [&](const Entry& e) { return e.machine == machine; });
+  AGILE_CHECK_MSG(it != vms_.end(), "detaching VM not on this host");
+  vms_.erase(it);
+}
+
+bool Host::has_vm(const vm::VirtualMachine* machine) const {
+  return std::any_of(vms_.begin(), vms_.end(),
+                     [&](const Entry& e) { return e.machine == machine; });
+}
+
+Bytes Host::memory_in_use() const {
+  Bytes total = config_.host_os_bytes;
+  for (const Entry& e : vms_) total += e.machine->memory().resident_bytes();
+  return total;
+}
+
+void Host::run_workloads(SimTime dt, std::uint32_t tick) {
+  for (Entry& e : vms_) {
+    if (e.load != nullptr && e.machine->running()) {
+      e.load->run_quantum(dt, tick);
+    }
+  }
+}
+
+void Host::run_maintenance(SimTime dt) {
+  for (Entry& e : vms_) {
+    e.machine->memory().enforce_reservation(config_.reclaim_pages_per_quantum);
+  }
+  ssd_->advance(dt);
+}
+
+}  // namespace agile::host

@@ -1,0 +1,74 @@
+// Physical host model.
+//
+// A host owns a NIC (a network node), an SSD, a system-wide swap partition
+// on that SSD (what the pre-copy/post-copy baselines swap to), and a set of
+// attached VMs, each in its own cgroup (memory reservation + bound swap
+// device). Per simulation quantum the host runs the workloads of its running
+// VMs, applies bounded background reclaim (kswapd), and advances its SSD
+// queue.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "storage/device.hpp"
+#include "swap/swap_device.hpp"
+#include "vm/virtual_machine.hpp"
+#include "workload/workload.hpp"
+
+namespace agile::host {
+
+struct HostConfig {
+  std::string name = "host";
+  Bytes ram = 128_GiB;
+  Bytes host_os_bytes = 200_MiB;       ///< Kernel + hypervisor overhead.
+  storage::SsdConfig ssd;              ///< The 128 GB Crucial SSD.
+  Bytes swap_partition_bytes = 30_GiB; ///< System-wide swap on the SSD.
+  std::uint64_t reclaim_pages_per_quantum = 8192;  ///< kswapd rate bound.
+};
+
+class Host {
+ public:
+  Host(net::Network* network, HostConfig config);
+
+  const std::string& name() const { return config_.name; }
+  const HostConfig& config() const { return config_; }
+  net::NodeId node() const { return node_; }
+
+  const std::shared_ptr<storage::SsdModel>& ssd() const { return ssd_; }
+  swap::LocalSwapDevice* swap_partition() { return swap_partition_.get(); }
+
+  /// Attaches a VM (and its workload driver, may be null for a bare VM).
+  void attach_vm(vm::VirtualMachine* machine, workload::Workload* load);
+  void detach_vm(vm::VirtualMachine* machine);
+  bool has_vm(const vm::VirtualMachine* machine) const;
+  std::size_t vm_count() const { return vms_.size(); }
+  vm::VirtualMachine* vm_at(std::size_t i) const { return vms_[i].machine; }
+  workload::Workload* workload_at(std::size_t i) const { return vms_[i].load; }
+
+  /// Host memory in use: host OS + resident pages of attached VMs.
+  Bytes memory_in_use() const;
+  Bytes ram() const { return config_.ram; }
+
+  /// Runs one quantum of guest work on every running VM.
+  void run_workloads(SimTime dt, std::uint32_t tick);
+
+  /// Background reclaim + device queue drain.
+  void run_maintenance(SimTime dt);
+
+ private:
+  struct Entry {
+    vm::VirtualMachine* machine;
+    workload::Workload* load;
+  };
+
+  HostConfig config_;
+  net::NodeId node_;
+  std::shared_ptr<storage::SsdModel> ssd_;
+  std::unique_ptr<swap::LocalSwapDevice> swap_partition_;
+  std::vector<Entry> vms_;
+};
+
+}  // namespace agile::host

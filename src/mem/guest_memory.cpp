@@ -1,0 +1,330 @@
+#include "mem/guest_memory.hpp"
+
+#include <algorithm>
+
+namespace agile::mem {
+
+namespace {
+constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
+constexpr SimTime kMinorFaultCost = 1;  // µs: zero-fill allocation
+}  // namespace
+
+GuestMemory::GuestMemory(const GuestMemoryConfig& config,
+                         swap::SwapDevice* swap_device, Rng rng)
+    : config_(config),
+      page_count_(pages_for(config.size)),
+      reservation_pages_(std::max<std::uint64_t>(1, config.reservation / kPageSize)),
+      swap_(swap_device),
+      rng_(rng) {
+  AGILE_CHECK(page_count_ > 0);
+  AGILE_CHECK(swap_ != nullptr);
+  AGILE_CHECK(config_.eviction_samples > 0);
+  state_.assign(page_count_, static_cast<std::uint8_t>(PageState::kUntouched));
+  last_access_.assign(page_count_, 0);
+  slot_.assign(page_count_, swap::kNoSlot);
+  swap_copy_clean_.reset(page_count_, false);
+  resident_pos_.assign(page_count_, kNoPos);
+  resident_.reserve(std::min<std::uint64_t>(page_count_, reservation_pages_ + 1));
+}
+
+void GuestMemory::set_swap_device(swap::SwapDevice* device) {
+  AGILE_CHECK(device != nullptr);
+  swap_ = device;
+}
+
+std::uint64_t GuestMemory::untouched_pages() const {
+  return page_count_ - resident_.size() - swapped_count_ - remote_count_;
+}
+
+SimTime GuestMemory::touch(PageIndex p, bool write, std::uint32_t tick) {
+  AGILE_CHECK(p < page_count_);
+  auto st = static_cast<PageState>(state_[p]);
+  AGILE_CHECK_MSG(st != PageState::kRemote,
+                  "kRemote access must go through the migration fault engine");
+  SimTime latency = 0;
+  switch (st) {
+    case PageState::kResident:
+      break;
+    case PageState::kUntouched:
+      ++stats_.minor_faults;
+      make_resident(p, tick);
+      latency = kMinorFaultCost;
+      break;
+    case PageState::kSwapped: {
+      ++stats_.major_faults;
+      ++stats_.swap_ins;
+      latency = swap_->read_page(slot_[p]);
+      --swapped_count_;
+      make_resident(p, tick);
+      // The swap slot now caches a clean copy (swap cache semantics).
+      swap_copy_clean_.set(p);
+      break;
+    }
+    case PageState::kRemote:
+      break;  // unreachable
+  }
+  last_access_[p] = tick;
+  if (write) {
+    if (slot_[p] != swap::kNoSlot) {
+      // Contents diverge from the swap copy; drop the swap-cache entry.
+      swap_->free_slot(slot_[p]);
+      slot_[p] = swap::kNoSlot;
+      swap_copy_clean_.clear(p);
+    }
+    if (dirty_log_ != nullptr) dirty_log_->set(p);
+  }
+  return latency;
+}
+
+void GuestMemory::prefill(std::uint64_t n, std::uint32_t tick) {
+  AGILE_CHECK(n <= page_count_);
+  for (PageIndex p = 0; p < n; ++p) touch(p, /*write=*/true, tick);
+}
+
+void GuestMemory::set_reservation(Bytes bytes) {
+  reservation_pages_ = std::max<std::uint64_t>(1, bytes / kPageSize);
+}
+
+std::uint64_t GuestMemory::enforce_reservation(std::uint64_t max_evictions) {
+  std::uint64_t evicted = 0;
+  while (resident_.size() > reservation_pages_ && evicted < max_evictions) {
+    evict_one();
+    ++evicted;
+  }
+  return evicted;
+}
+
+SimTime GuestMemory::swap_in_for_transfer(PageIndex p, std::uint32_t tick,
+                                          bool sequential) {
+  AGILE_CHECK(p < page_count_);
+  AGILE_CHECK(state(p) == PageState::kSwapped);
+  ++stats_.swap_ins;
+  SimTime latency = sequential ? swap_->read_page_sequential(slot_[p])
+                               : swap_->read_page(slot_[p]);
+  --swapped_count_;
+  make_resident(p, tick);
+  last_access_[p] = tick;
+  swap_copy_clean_.set(p);  // read-only: swap copy stays valid
+  return latency;
+}
+
+void GuestMemory::release_page(PageIndex p) {
+  AGILE_CHECK(p < page_count_);
+  switch (state(p)) {
+    case PageState::kResident:
+      remove_from_resident(p);
+      if (slot_[p] != swap::kNoSlot) {
+        swap_->free_slot(slot_[p]);
+        slot_[p] = swap::kNoSlot;
+        swap_copy_clean_.clear(p);
+      }
+      break;
+    case PageState::kUntouched:
+      break;
+    case PageState::kSwapped:
+      // Cold page: the copy on the (possibly portable) swap device survives;
+      // whoever owns the namespace decides when slots die.
+      --swapped_count_;
+      break;
+    case PageState::kRemote:
+      return;  // already gone
+  }
+  state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
+  ++remote_count_;
+}
+
+void GuestMemory::mark_all_remote() {
+  AGILE_CHECK_MSG(resident_.empty() && swapped_count_ == 0,
+                  "mark_all_remote expects a fresh destination memory");
+  std::fill(state_.begin(), state_.end(),
+            static_cast<std::uint8_t>(PageState::kRemote));
+  remote_count_ = page_count_;
+}
+
+void GuestMemory::install_resident(PageIndex p, std::uint32_t tick) {
+  AGILE_CHECK(p < page_count_);
+  AGILE_CHECK_MSG(state(p) == PageState::kRemote, "double install");
+  --remote_count_;
+  ++stats_.remote_installs;
+  make_resident(p, tick);
+  last_access_[p] = tick;
+}
+
+void GuestMemory::install_swapped(PageIndex p, swap::SwapSlot s) {
+  AGILE_CHECK(p < page_count_);
+  AGILE_CHECK_MSG(state(p) == PageState::kRemote, "double install");
+  AGILE_CHECK(s != swap::kNoSlot);
+  --remote_count_;
+  ++stats_.remote_installs;
+  state_[p] = static_cast<std::uint8_t>(PageState::kSwapped);
+  slot_[p] = s;
+  swap_copy_clean_.set(p);
+  ++swapped_count_;
+}
+
+void GuestMemory::install_untouched(PageIndex p) {
+  AGILE_CHECK(p < page_count_);
+  AGILE_CHECK_MSG(state(p) == PageState::kRemote, "double install");
+  --remote_count_;
+  state_[p] = static_cast<std::uint8_t>(PageState::kUntouched);
+}
+
+void GuestMemory::receive_overwrite(PageIndex p, std::uint32_t tick) {
+  AGILE_CHECK(p < page_count_);
+  switch (state(p)) {
+    case PageState::kRemote:
+      install_resident(p, tick);
+      return;
+    case PageState::kResident:
+      break;
+    case PageState::kSwapped:
+      --swapped_count_;
+      make_resident(p, tick);
+      break;
+    case PageState::kUntouched:
+      make_resident(p, tick);
+      return;  // fresh page, no slot possible
+  }
+  last_access_[p] = tick;
+  if (slot_[p] != swap::kNoSlot) {
+    // The incoming copy supersedes the swap copy.
+    swap_->free_slot(slot_[p]);
+    slot_[p] = swap::kNoSlot;
+    swap_copy_clean_.clear(p);
+  }
+}
+
+void GuestMemory::invalidate_to_remote(PageIndex p, bool free_slot) {
+  AGILE_CHECK(p < page_count_);
+  switch (state(p)) {
+    case PageState::kRemote:
+      return;  // never installed; nothing stale to drop
+    case PageState::kResident:
+      remove_from_resident(p);
+      break;
+    case PageState::kSwapped:
+      --swapped_count_;
+      break;
+    case PageState::kUntouched:
+      break;
+  }
+  if (slot_[p] != swap::kNoSlot) {
+    if (free_slot) swap_->free_slot(slot_[p]);
+    slot_[p] = swap::kNoSlot;
+    swap_copy_clean_.clear(p);
+  }
+  state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
+  ++remote_count_;
+}
+
+void GuestMemory::teardown(bool free_slots) {
+  for (PageIndex p = 0; p < page_count_; ++p) {
+    switch (state(p)) {
+      case PageState::kResident:
+        remove_from_resident(p);
+        break;
+      case PageState::kSwapped:
+        --swapped_count_;
+        break;
+      case PageState::kUntouched:
+      case PageState::kRemote:
+        break;
+    }
+    if (state(p) != PageState::kRemote) {
+      state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
+      ++remote_count_;
+    }
+    if (free_slots && slot_[p] != swap::kNoSlot) {
+      swap_->free_slot(slot_[p]);
+      slot_[p] = swap::kNoSlot;
+      swap_copy_clean_.clear(p);
+    }
+  }
+}
+
+void GuestMemory::make_resident(PageIndex p, std::uint32_t tick) {
+  AGILE_CHECK(state(p) != PageState::kResident);
+  while (resident_.size() >= reservation_pages_) evict_one();
+  state_[p] = static_cast<std::uint8_t>(PageState::kResident);
+  resident_pos_[p] = static_cast<std::uint32_t>(resident_.size());
+  resident_.push_back(static_cast<std::uint32_t>(p));
+  last_access_[p] = tick;
+}
+
+void GuestMemory::remove_from_resident(PageIndex p) {
+  std::uint32_t pos = resident_pos_[p];
+  AGILE_CHECK(pos != kNoPos);
+  std::uint32_t last = resident_.back();
+  resident_[pos] = last;
+  resident_pos_[last] = pos;
+  resident_.pop_back();
+  resident_pos_[p] = kNoPos;
+}
+
+PageIndex GuestMemory::pick_victim() {
+  AGILE_CHECK(!resident_.empty());
+  PageIndex best = resident_[rng_.next_below(resident_.size())];
+  for (std::uint32_t i = 1; i < config_.eviction_samples; ++i) {
+    PageIndex cand = resident_[rng_.next_below(resident_.size())];
+    if (last_access_[cand] < last_access_[best]) best = cand;
+  }
+  return best;
+}
+
+void GuestMemory::evict_page(PageIndex p) {
+  AGILE_CHECK(p < page_count_);
+  AGILE_CHECK(state(p) == PageState::kResident);
+  remove_from_resident(p);
+  if (slot_[p] != swap::kNoSlot && swap_copy_clean_.test(p)) {
+    ++stats_.clean_drops;  // swap copy still valid; no I/O
+  } else {
+    if (slot_[p] == swap::kNoSlot) slot_[p] = swap_->allocate_slot();
+    swap_->write_page(slot_[p]);  // write-behind
+    swap_copy_clean_.set(p);
+    ++stats_.swap_outs;
+  }
+  state_[p] = static_cast<std::uint8_t>(PageState::kSwapped);
+  ++swapped_count_;
+}
+
+void GuestMemory::evict_one() { evict_page(pick_victim()); }
+
+std::uint64_t GuestMemory::true_working_set_pages(
+    std::uint32_t now_tick, std::uint32_t window_ticks) const {
+  std::uint64_t count = 0;
+  for (PageIndex p = 0; p < page_count_; ++p) {
+    auto st = static_cast<PageState>(state_[p]);
+    if (st == PageState::kUntouched) continue;
+    if (now_tick - last_access_[p] <= window_ticks) ++count;
+  }
+  return count;
+}
+
+void GuestMemory::check_consistency() const {
+  std::uint64_t resident = 0, swapped = 0, remote = 0;
+  for (PageIndex p = 0; p < page_count_; ++p) {
+    switch (static_cast<PageState>(state_[p])) {
+      case PageState::kResident:
+        ++resident;
+        AGILE_CHECK(resident_pos_[p] != kNoPos);
+        AGILE_CHECK(resident_[resident_pos_[p]] == p);
+        break;
+      case PageState::kSwapped:
+        ++swapped;
+        AGILE_CHECK(slot_[p] != swap::kNoSlot);
+        AGILE_CHECK(resident_pos_[p] == kNoPos);
+        break;
+      case PageState::kUntouched:
+      case PageState::kRemote:
+        if (static_cast<PageState>(state_[p]) == PageState::kRemote) ++remote;
+        AGILE_CHECK(resident_pos_[p] == kNoPos);
+        break;
+    }
+    if (swap_copy_clean_.test(p)) AGILE_CHECK(slot_[p] != swap::kNoSlot);
+  }
+  AGILE_CHECK(resident == resident_.size());
+  AGILE_CHECK(swapped == swapped_count_);
+  AGILE_CHECK(remote == remote_count_);
+}
+
+}  // namespace agile::mem

@@ -1,0 +1,225 @@
+// Page-granular guest physical memory model.
+//
+// Each VM's memory is an array of 4 KiB pages, each in one of four states:
+//
+//   kUntouched — never written; costs no host frame (zero page).
+//   kResident  — backed by a host frame, charged against the VM's cgroup
+//                memory reservation.
+//   kSwapped   — only copy lives at `swap_slot` on the VM's swap device.
+//   kRemote    — (destination side, during the post-copy phase) the page has
+//                not arrived yet; an access must go through the migration
+//                fault engine. GuestMemory itself never services kRemote.
+//
+// Reservation enforcement mirrors the cgroup memory controller: making a page
+// resident while the reservation is full evicts a victim chosen by sampled
+// LRU (K random resident pages, oldest last-access wins — the same flavor of
+// approximation the kernel's LRU lists give in practice). Victims with a
+// still-valid swap copy are dropped for free; dirty victims are written back
+// write-behind, so reclaim itself is cheap but the swap device queue grows —
+// thrashing emerges when the working set exceeds the reservation.
+//
+// The migration dirty log hooks in exactly like KVM's dirty bitmap: when
+// attached, every write access sets the page's bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "swap/swap_device.hpp"
+#include "util/bitmap.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace agile::mem {
+
+enum class PageState : std::uint8_t {
+  kUntouched = 0,
+  kResident = 1,
+  kSwapped = 2,
+  kRemote = 3,
+};
+
+struct MemStats {
+  std::uint64_t minor_faults = 0;   ///< Untouched → resident allocations.
+  std::uint64_t major_faults = 0;   ///< Swap-ins caused by guest access.
+  std::uint64_t swap_ins = 0;       ///< All swap-ins (access + migration reads).
+  std::uint64_t swap_outs = 0;      ///< Dirty evictions written to swap.
+  std::uint64_t clean_drops = 0;    ///< Evictions satisfied without I/O.
+  std::uint64_t remote_installs = 0;  ///< Pages installed by the migration path.
+};
+
+struct GuestMemoryConfig {
+  Bytes size = 1_GiB;            ///< Guest physical memory size.
+  Bytes reservation = 1_GiB;     ///< cgroup memory reservation.
+  std::uint32_t eviction_samples = 8;  ///< Sampled-LRU candidate count.
+};
+
+class GuestMemory {
+ public:
+  GuestMemory(const GuestMemoryConfig& config, swap::SwapDevice* swap_device,
+              Rng rng);
+
+  std::uint64_t page_count() const { return page_count_; }
+  Bytes size_bytes() const { return config_.size; }
+
+  PageState state(PageIndex p) const {
+    AGILE_CHECK(p < page_count_);
+    return static_cast<PageState>(state_[p]);
+  }
+  bool is_resident(PageIndex p) const { return state(p) == PageState::kResident; }
+  bool is_swapped(PageIndex p) const { return state(p) == PageState::kSwapped; }
+
+  std::uint64_t resident_pages() const { return resident_.size(); }
+  Bytes resident_bytes() const { return resident_.size() * kPageSize; }
+  std::uint64_t swapped_pages() const { return swapped_count_; }
+  std::uint64_t untouched_pages() const;
+  std::uint64_t remote_pages() const { return remote_count_; }
+
+  swap::SwapDevice* swap_device() const { return swap_; }
+  void set_swap_device(swap::SwapDevice* device);
+
+  // --- Runtime access path -------------------------------------------------
+
+  /// Guest touches page `p` at LRU clock `tick`. Returns the fault latency to
+  /// charge the access (0 for the resident fast path). Must not be called on
+  /// kRemote pages — the VM layer routes those to the fault engine.
+  SimTime touch(PageIndex p, bool write, std::uint32_t tick);
+
+  /// Touch pages [0, n) as writes (dataset load / boot-time pre-fill). Obeys
+  /// the reservation, so the tail ends up swapped once the reservation fills.
+  void prefill(std::uint64_t n, std::uint32_t tick);
+
+  // --- cgroup reservation ---------------------------------------------------
+
+  Bytes reservation() const { return reservation_pages_ * kPageSize; }
+  std::uint64_t reservation_pages() const { return reservation_pages_; }
+  void set_reservation(Bytes bytes);
+
+  /// Evicts until resident <= reservation, at most `max_evictions` pages
+  /// (reclaim proceeds at a bounded rate per quantum, like kswapd). Returns
+  /// pages evicted.
+  std::uint64_t enforce_reservation(std::uint64_t max_evictions);
+
+  /// Forcibly evicts a specific resident page to the swap device (targeted
+  /// reclaim — the scatter phase of scatter-gather migration). Free if a
+  /// valid swap copy exists; otherwise a write-behind to the device.
+  void evict_page(PageIndex p);
+
+  /// True if resident set exceeds the reservation (reclaim pending).
+  bool over_reservation() const { return resident_.size() > reservation_pages_; }
+
+  // --- Migration support ----------------------------------------------------
+
+  /// Attaches a dirty log; every subsequent write sets the page's bit.
+  void attach_dirty_log(Bitmap* log) { dirty_log_ = log; }
+  void detach_dirty_log() { dirty_log_ = nullptr; }
+  Bitmap* dirty_log() const { return dirty_log_; }
+
+  /// Swap-in on behalf of the migration manager (pre-copy reading a swapped
+  /// page to transfer it). The page becomes resident and may evict a victim —
+  /// this is the thrashing loop of the baselines. Returns read latency.
+  /// `sequential` marks sweep reads that benefit from device readahead;
+  /// demand-fault service reads (random) must pass false.
+  SimTime swap_in_for_transfer(PageIndex p, std::uint32_t tick,
+                               bool sequential = true);
+
+  /// Swap slot of a swapped page (the PTE's swap offset).
+  swap::SwapSlot swap_slot(PageIndex p) const {
+    AGILE_CHECK(p < page_count_);
+    return slot_[p];
+  }
+
+  /// Source side, post-copy phase: page has been pushed / sent; release the
+  /// frame or slot it occupied. After this the source holds no copy.
+  void release_page(PageIndex p);
+
+  /// Destination side: marks every page not-yet-arrived.
+  void mark_all_remote();
+
+  /// Destination side: a full page arrived from the wire and becomes
+  /// resident (evicting under the reservation as needed).
+  void install_resident(PageIndex p, std::uint32_t tick);
+
+  /// Destination side (Agile): a SWAPPED descriptor arrived — the page's only
+  /// copy is at `slot` on the (portable) per-VM swap device.
+  void install_swapped(PageIndex p, swap::SwapSlot slot);
+
+  /// Destination side: page is untouched/zero at the source; no data needed.
+  void install_untouched(PageIndex p);
+
+  /// Destination side, pre-copy: a wire copy of the page replaces whatever
+  /// this memory currently holds (later rounds legitimately resend pages the
+  /// destination may have even swapped out meanwhile).
+  void receive_overwrite(PageIndex p, std::uint32_t tick);
+
+  /// Source-side teardown after migration completes: drops every frame and —
+  /// when `free_slots` — releases all swap slots (baseline semantics: the
+  /// host-level swap space is reclaimed once the VM has left). Agile keeps
+  /// the cold pages' slots alive on the portable device and reconciles them
+  /// separately.
+  void teardown(bool free_slots);
+
+  /// Destination side, Agile switchover: page `p` was installed during the
+  /// live round but the source dirtied it afterwards — whatever we hold is
+  /// stale. Drops the page back to kRemote. `free_slot` must be true when
+  /// this memory owns the page's swap slot (it evicted the page itself) and
+  /// false when the slot came from a SWAPPED descriptor (the source already
+  /// freed it when the guest wrote to the page).
+  void invalidate_to_remote(PageIndex p, bool free_slot);
+
+  /// Source side, Agile: slot ownership for page `p` has passed to the
+  /// destination's memory. Forgets the slot here without freeing it on the
+  /// (shared, portable) device; a still-swapped page transitions to kRemote.
+  void forget_slot(PageIndex p) {
+    AGILE_CHECK(p < page_count_);
+    if (state(p) == PageState::kSwapped) {
+      --swapped_count_;
+      state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
+      ++remote_count_;
+    }
+    slot_[p] = swap::kNoSlot;
+    swap_copy_clean_.clear(p);
+  }
+
+  const MemStats& stats() const { return stats_; }
+
+  /// Ground-truth working set: pages accessed in the last `window_ticks`
+  /// relative to `now_tick`. O(page_count); used by the WSS benches, not by
+  /// any simulated component.
+  std::uint64_t true_working_set_pages(std::uint32_t now_tick,
+                                       std::uint32_t window_ticks) const;
+
+  /// Sanity invariant: internal counters match the per-page state array.
+  /// O(page_count); used by tests.
+  void check_consistency() const;
+
+ private:
+  void make_resident(PageIndex p, std::uint32_t tick);
+  void remove_from_resident(PageIndex p);
+  void evict_one();
+  PageIndex pick_victim();
+
+  GuestMemoryConfig config_;
+  std::uint64_t page_count_;
+  std::uint64_t reservation_pages_;
+  swap::SwapDevice* swap_;
+  Rng rng_;
+
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint32_t> last_access_;
+  std::vector<swap::SwapSlot> slot_;
+  Bitmap swap_copy_clean_;  ///< Swap slot holds current contents.
+
+  // Resident-set index for O(1) sampling and removal.
+  std::vector<std::uint32_t> resident_;      ///< page indices
+  std::vector<std::uint32_t> resident_pos_;  ///< page -> index in resident_
+
+  std::uint64_t swapped_count_ = 0;
+  std::uint64_t remote_count_ = 0;
+
+  Bitmap* dirty_log_ = nullptr;
+  MemStats stats_;
+};
+
+}  // namespace agile::mem

@@ -1,0 +1,46 @@
+// Userspace page-table view, mirroring /proc/<pid>/pagemap.
+//
+// The Migration Manager never manipulates guest memory directly during the
+// pre-copy scan; like the paper's implementation it *reads the PTE* to learn
+// whether a page is present or swapped and, if swapped, its offset on the
+// per-VM swap device. This header is that read-only window.
+#pragma once
+
+#include "mem/guest_memory.hpp"
+
+namespace agile::mem {
+
+struct PagemapEntry {
+  bool present = false;        ///< Page is resident in host memory.
+  bool swapped = false;        ///< Page lives on the swap device.
+  std::uint64_t swap_offset = 0;  ///< Valid iff `swapped`.
+};
+
+class Pagemap {
+ public:
+  explicit Pagemap(const GuestMemory& mem) : mem_(&mem) {}
+
+  PagemapEntry entry(PageIndex p) const {
+    PagemapEntry e;
+    switch (mem_->state(p)) {
+      case PageState::kResident:
+        e.present = true;
+        break;
+      case PageState::kSwapped:
+        e.swapped = true;
+        e.swap_offset = mem_->swap_slot(p);
+        break;
+      case PageState::kUntouched:
+      case PageState::kRemote:
+        break;
+    }
+    return e;
+  }
+
+  std::uint64_t page_count() const { return mem_->page_count(); }
+
+ private:
+  const GuestMemory* mem_;
+};
+
+}  // namespace agile::mem

@@ -1,0 +1,85 @@
+#include "metrics/table.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace agile::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  AGILE_CHECK_MSG(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(width[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << "|" << std::string(width[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+Status Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return unavailable("cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      f << row[c];
+    }
+    f << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return Status::ok();
+}
+
+Status write_series_csv(const std::string& path,
+                        const std::vector<const TimeSeries*>& series) {
+  if (series.empty()) return invalid_argument("no series");
+  std::ofstream f(path);
+  if (!f) return unavailable("cannot open " + path);
+  f << "t";
+  for (const TimeSeries* s : series) f << ',' << s->name();
+  f << '\n';
+  for (const Sample& s : series[0]->samples()) {
+    f << s.t;
+    for (const TimeSeries* ts : series) f << ',' << ts->value_at(s.t);
+    f << '\n';
+  }
+  return Status::ok();
+}
+
+Status ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return unavailable("mkdir " + dir + ": " + ec.message());
+  return Status::ok();
+}
+
+}  // namespace agile::metrics

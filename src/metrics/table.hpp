@@ -1,0 +1,43 @@
+// Console tables and CSV emission for the benchmark harness.
+//
+// Every bench prints a paper-style table to stdout and mirrors the raw
+// series/rows into CSV files under an output directory so the figures can be
+// re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/timeseries.hpp"
+
+namespace agile::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 1);
+
+  /// Renders with aligned columns.
+  std::string to_string() const;
+
+  /// Writes "h1,h2,...\nr1c1,r1c2,..." CSV.
+  Status write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes one or more time series as CSV: t,<name1>,<name2>,... Series are
+/// sampled at each distinct time of the first series using value_at.
+Status write_series_csv(const std::string& path,
+                        const std::vector<const TimeSeries*>& series);
+
+/// Creates `dir` (and parents) if missing.
+Status ensure_dir(const std::string& dir);
+
+}  // namespace agile::metrics

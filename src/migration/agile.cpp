@@ -1,0 +1,244 @@
+#include "migration/agile.hpp"
+
+#include "util/log.hpp"
+
+namespace agile::migration {
+
+AgileMigration::AgileMigration(host::Cluster* cluster, MigrationParams params,
+                               MigrationConfig config)
+    : MigrationManager(cluster, params, config) {
+  // Agile requires the *same* portable per-VM swap device on both sides:
+  // that is what makes the SWAPPED descriptors meaningful at the destination.
+  AGILE_CHECK_MSG(params.dest_swap == params.machine->memory().swap_device(),
+                  "Agile migration needs the portable per-VM swap device");
+}
+
+void AgileMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
+  if (phase_ == Phase::kInit) {
+    dirty_log_.reset(page_count(), false);
+    installed_swapped_.reset(page_count(), false);
+    source_mem_->attach_dirty_log(&dirty_log_);
+    cursor_ = 0;
+    phase_ = Phase::kLiveRound;
+  }
+  if (phase_ == Phase::kFlipWait) return;
+
+  SimTime budget = dt - debt_;
+  debt_ = 0;
+  if (budget <= 0) {
+    debt_ = -budget;
+    return;
+  }
+
+  if (phase_ == Phase::kLiveRound) {
+    while (budget > 0) {
+      if (stream_->backlog() >= config_.send_window) break;
+      if (cursor_ >= page_count()) {
+        end_live_round();
+        break;
+      }
+      budget -= scan_page(cursor_++, tick);
+    }
+  } else if (phase_ == Phase::kPush) {
+    while (budget > 0) {
+      if (stream_->backlog() >= config_.send_window) break;
+      std::size_t p = sent_.find_next_clear(push_cursor_);
+      // `sent_` holds only dirty pages; non-dirty indices are pre-marked.
+      if (p == Bitmap::npos) break;
+      push_cursor_ = p + 1;
+      sent_.set(p);
+      budget -= push_page(p, tick);
+    }
+  }
+  if (budget < 0) debt_ = -budget;
+}
+
+SimTime AgileMigration::scan_page(PageIndex p, std::uint32_t) {
+  mem::Pagemap pagemap(*source_mem_);
+  mem::PagemapEntry e = pagemap.entry(p);
+  mem::GuestMemory* dest = dest_mem_;
+  if (e.swapped) {
+    // The whole point: ship the 16-byte offset, not the 4 KiB page.
+    auto slot = static_cast<swap::SwapSlot>(e.swap_offset);
+    ++metrics_.pages_sent_descriptor;
+    metrics_.bytes_transferred += config_.descriptor_bytes;
+    Bitmap* installed = &installed_swapped_;
+    stream_->send(config_.descriptor_bytes, [dest, installed, p, slot] {
+      dest->install_swapped(p, slot);
+      installed->set(p);
+    });
+    return 1;  // descriptor assembly is nearly free
+  }
+  if (!e.present) {  // untouched / zero page
+    ++metrics_.pages_sent_descriptor;
+    metrics_.bytes_transferred += config_.descriptor_bytes;
+    stream_->send(config_.descriptor_bytes, [dest, p] {
+      dest->install_untouched(p);
+    });
+    return 1;
+  }
+  ++metrics_.pages_sent_full;
+  metrics_.bytes_transferred += full_page_bytes();
+  host::Cluster* cluster = cluster_;
+  stream_->send(full_page_bytes(), [dest, p, cluster] {
+    dest->receive_overwrite(p, cluster->tick_index());
+  });
+  return config_.page_copy_cost;
+}
+
+void AgileMigration::end_live_round() {
+  metrics_.precopy_rounds = 1;
+  begin_suspend();
+  source_mem_->detach_dirty_log();
+  // Snapshot the dirty set; nothing can dirty pages while suspended.
+  dirty_ = dirty_log_;
+  dirty_total_ = dirty_.count();
+  // Pre-mark non-dirty pages as sent so the push sweep only visits the owed set.
+  sent_.reset(page_count(), true);
+  received_.reset(page_count(), false);
+  for (std::size_t p = dirty_.find_next_set(0); p != Bitmap::npos;
+       p = dirty_.find_next_set(p + 1)) {
+    sent_.clear(p);
+  }
+  push_cursor_ = 0;
+
+  AGILE_LOG_INFO("agile %s: live round done, %llu dirty pages owed post-flip",
+                 params_.machine->name().c_str(),
+                 static_cast<unsigned long long>(dirty_total_));
+
+  // CPU state + the dirty bitmap travel behind every queued page message.
+  Bytes flip_bytes = config_.cpu_state_bytes + (page_count() + 7) / 8;
+  metrics_.bytes_transferred += flip_bytes;
+  stream_->send(flip_bytes, [this] {
+    apply_dirty_invalidations();
+    handoff_cold_slots();
+    complete_switchover(cluster_->tick_index());
+    params_.machine->set_remote_fault_handler(
+        [this](PageIndex p, bool write, std::uint32_t t) {
+          return handle_fault(p, write, t);
+        });
+    if (on_switchover_) on_switchover_();
+    phase_ = Phase::kPush;
+    maybe_finish();  // a write-free live round leaves nothing owed
+  });
+  phase_ = Phase::kFlipWait;
+}
+
+void AgileMigration::apply_dirty_invalidations() {
+  // Pages the source dirtied after their live-round copy went out are stale
+  // at the destination. Descriptor-installed pages lost their slot when the
+  // source wrote to them (swap-cache drop), so the destination must not free
+  // those slots; pages it evicted itself own their slots.
+  for (std::size_t p = dirty_.find_next_set(0); p != Bitmap::npos;
+       p = dirty_.find_next_set(p + 1)) {
+    dest_mem_->invalidate_to_remote(p, /*free_slot=*/!installed_swapped_.test(p));
+  }
+}
+
+SimTime AgileMigration::push_page(PageIndex p, std::uint32_t tick) {
+  SimTime spent = config_.page_copy_cost;
+  mem::PageState st = source_mem_->state(p);
+  AGILE_CHECK_MSG(st != mem::PageState::kRemote, "pushing a released page");
+  if (st == mem::PageState::kSwapped) {
+    // Rare: dirtied during the live round, then evicted again. Reading the
+    // per-VM device is a remote-memory hit, not an SSD seek.
+    spent += source_mem_->swap_in_for_transfer(p, tick);
+    st = mem::PageState::kResident;
+  }
+  if (st == mem::PageState::kUntouched) {
+    ++metrics_.pages_sent_descriptor;
+    metrics_.bytes_transferred += config_.descriptor_bytes;
+    stream_->send(config_.descriptor_bytes, [this, p] { deliver_dirty_page(p); });
+  } else {
+    ++metrics_.pages_sent_full;
+    metrics_.bytes_transferred += full_page_bytes();
+    stream_->send(full_page_bytes(), [this, p] { deliver_dirty_page(p); });
+  }
+  return spent;
+}
+
+void AgileMigration::deliver_dirty_page(PageIndex p) {
+  if (received_.test(p)) {
+    ++metrics_.duplicate_pages;
+  } else {
+    received_.set(p);
+    if (source_mem_->state(p) == mem::PageState::kUntouched) {
+      dest_mem_->install_untouched(p);
+    } else {
+      dest_mem_->install_resident(p, cluster_->tick_index());
+    }
+  }
+  source_mem_->release_page(p);
+  maybe_finish();
+}
+
+SimTime AgileMigration::handle_fault(PageIndex p, bool, std::uint32_t tick) {
+  // Only pages dirtied during the live round can still be kRemote at the
+  // destination; cold pages were installed as locally-swapped and take the
+  // ordinary swap-in path against the per-VM device.
+  AGILE_CHECK_MSG(dirty_.test(p), "remote fault outside the dirty set");
+  AGILE_CHECK(!received_.test(p));
+  SimTime latency = config_.fault_overhead;
+  net::Network& net = cluster_->network();
+  net::NodeId dst = params_.dest->node();
+  net::NodeId src = params_.source->node();
+
+  mem::PageState st = source_mem_->state(p);
+  AGILE_CHECK(st != mem::PageState::kRemote);
+  if (st == mem::PageState::kSwapped) {
+    latency += source_mem_->swap_in_for_transfer(p, tick, /*sequential=*/false);
+    st = mem::PageState::kResident;
+  }
+  if (st == mem::PageState::kUntouched) {
+    latency += net.rpc_latency(dst, src, config_.descriptor_bytes);
+    net.consume_background(dst, src, config_.descriptor_bytes);
+    net.consume_background(src, dst, config_.descriptor_bytes);
+    metrics_.bytes_transferred += config_.descriptor_bytes;
+    dest_mem_->install_untouched(p);
+  } else {
+    latency += net.rpc_latency(dst, src, full_page_bytes());
+    net.consume_background(dst, src, config_.descriptor_bytes);
+    net.consume_background(src, dst, full_page_bytes());
+    metrics_.bytes_transferred += full_page_bytes();
+    dest_mem_->install_resident(p, tick);
+  }
+  sent_.set(p);
+  received_.set(p);
+  ++metrics_.pages_demand_served;
+  source_mem_->release_page(p);
+  maybe_finish();
+  return latency;
+}
+
+void AgileMigration::handoff_cold_slots() {
+  // The source "disconnects" from the per-VM swap device here (paper §IV-B):
+  // every slot the destination now references — the live cold set — stops
+  // being the source's to manage, so a later guest write at the destination
+  // can drop the swap copy without the source double-freeing it at teardown.
+  // The source keeps managing only slots the destination never learned about
+  // (its own swap-cache copies and post-scan re-evictions of dirty pages).
+  std::uint64_t handed_over = 0;
+  for (std::size_t p = installed_swapped_.find_next_set(0); p != Bitmap::npos;
+       p = installed_swapped_.find_next_set(p + 1)) {
+    if (dest_mem_->state(p) == mem::PageState::kSwapped) {
+      source_mem_->forget_slot(p);
+      ++handed_over;
+    }
+  }
+  AGILE_LOG_INFO("agile %s: handed %llu cold-page slots to the destination",
+                 params_.machine->name().c_str(),
+                 static_cast<unsigned long long>(handed_over));
+}
+
+void AgileMigration::maybe_finish() {
+  if (phase_ != Phase::kPush || received_.count() != dirty_total_) return;
+  phase_ = Phase::kDone;
+  params_.machine->clear_remote_fault_handler();
+  // Reclaim what the source still holds: frames, swap-cache copies of pages
+  // that were sent in full, and re-evicted dirty pages' slots. None of these
+  // are referenced by the destination (see handoff_cold_slots).
+  source_mem_->teardown(/*free_slots=*/true);
+  finish();
+}
+
+}  // namespace agile::migration

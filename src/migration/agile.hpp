@@ -1,0 +1,75 @@
+// Agile live migration — the paper's contribution.
+//
+// One live pre-copy round transfers the resident working set in full while
+// swapped-out (cold) pages are covered by 16-byte SWAPPED descriptors (page
+// index + offset on the per-VM swap device) read from the pagemap — the
+// migration never touches the swap device at the source. After that single
+// round the VM flips to the destination (CPU state + dirty bitmap), which
+// then fills the remainder two ways:
+//
+//   * pages dirtied during the live round: active push from the source plus
+//     network demand paging, exactly like post-copy but over a set the size
+//     of the *write* working set rather than the whole VM;
+//   * cold pages: demand-paged straight from the portable per-VM swap device
+//     (VMD) — they never cross the source link at all. These arrive through
+//     the normal swap-in path (the descriptor made them look locally
+//     swapped), so no fault-engine round trip to the source is needed.
+//
+// Source memory is released progressively as dirty pages are delivered; at
+// completion, slot ownership for the cold set is handed to the destination
+// and everything else at the source is reclaimed.
+#pragma once
+
+#include <functional>
+
+#include "migration/migration.hpp"
+
+namespace agile::migration {
+
+class AgileMigration final : public MigrationManager {
+ public:
+  AgileMigration(host::Cluster* cluster, MigrationParams params,
+                 MigrationConfig config);
+
+  const char* technique() const override { return "agile"; }
+
+  /// Invoked at switchover — the core layer uses it to re-attach the
+  /// portable per-VM swap device to the destination host.
+  void set_on_switchover(std::function<void()> fn) {
+    on_switchover_ = std::move(fn);
+  }
+
+  /// Dirty pages still owed to the destination (0 once push completes).
+  std::uint64_t dirty_remaining() const {
+    return dirty_total_ - received_.count();
+  }
+
+ protected:
+  void on_tick(SimTime now, SimTime dt, std::uint32_t tick) override;
+
+ private:
+  enum class Phase { kInit, kLiveRound, kFlipWait, kPush, kDone };
+
+  SimTime scan_page(PageIndex p, std::uint32_t tick);
+  void end_live_round();
+  void apply_dirty_invalidations();
+  void handoff_cold_slots();
+  SimTime push_page(PageIndex p, std::uint32_t tick);
+  SimTime handle_fault(PageIndex p, bool write, std::uint32_t tick);
+  void deliver_dirty_page(PageIndex p);
+  void maybe_finish();
+
+  Phase phase_ = Phase::kInit;
+  Bitmap dirty_log_;          ///< Writes during the live round.
+  Bitmap installed_swapped_;  ///< Dest pages installed from SWAPPED descriptors.
+  Bitmap dirty_;              ///< Snapshot at suspension: pages owed post-flip.
+  Bitmap sent_;               ///< Dirty pages enqueued/served.
+  Bitmap received_;           ///< Dirty pages the destination holds.
+  std::uint64_t dirty_total_ = 0;
+  std::uint64_t cursor_ = 0;       ///< Live-round scan position.
+  std::uint64_t push_cursor_ = 0;  ///< Push-phase scan position.
+  SimTime debt_ = 0;
+  std::function<void()> on_switchover_;
+};
+
+}  // namespace agile::migration

@@ -1,0 +1,100 @@
+#include "migration/migration.hpp"
+
+#include "util/log.hpp"
+
+namespace agile::migration {
+
+MigrationManager::MigrationManager(host::Cluster* cluster,
+                                   MigrationParams params,
+                                   MigrationConfig config)
+    : cluster_(cluster), params_(params), config_(config) {
+  AGILE_CHECK(cluster_ != nullptr);
+  AGILE_CHECK(params_.machine != nullptr);
+  AGILE_CHECK(params_.source != nullptr && params_.dest != nullptr);
+  AGILE_CHECK(params_.dest_swap != nullptr);
+  AGILE_CHECK(params_.dest_reservation > 0);
+  AGILE_CHECK_MSG(params_.source->has_vm(params_.machine),
+                  "VM is not running on the source host");
+}
+
+MigrationManager::~MigrationManager() {
+  if (hook_id_ != 0) cluster_->remove_hook(hook_id_);
+}
+
+void MigrationManager::start() {
+  AGILE_CHECK_MSG(!started_, "migration already started");
+  started_ = true;
+  metrics_.start_time = cluster_->simulation().now();
+
+  source_mem_ = &params_.machine->memory();
+
+  mem::GuestMemoryConfig dest_cfg;
+  dest_cfg.size = params_.machine->config().memory;
+  dest_cfg.reservation = params_.dest_reservation;
+  dest_mem_owned_ = std::make_unique<mem::GuestMemory>(
+      dest_cfg, params_.dest_swap,
+      cluster_->make_rng(params_.machine->name() + "/dest-mem"));
+  dest_mem_owned_->mark_all_remote();
+  dest_mem_ = dest_mem_owned_.get();
+
+  stream_ = std::make_unique<WireStream>(&cluster_->network(),
+                                         params_.source->node(),
+                                         params_.dest->node());
+
+  hook_id_ = cluster_->add_control_hook(
+      [this](SimTime now, SimTime dt, std::uint32_t tick) {
+        if (!metrics_.completed) on_tick(now, dt, tick);
+      });
+
+  AGILE_LOG_INFO("%s migration of %s: %s -> %s starting", technique(),
+                 params_.machine->name().c_str(),
+                 params_.source->name().c_str(), params_.dest->name().c_str());
+}
+
+void MigrationManager::begin_suspend() {
+  AGILE_CHECK(suspend_time_ < 0);
+  params_.machine->suspend();
+  suspend_time_ = cluster_->simulation().now();
+}
+
+void MigrationManager::complete_switchover(std::uint32_t tick) {
+  AGILE_CHECK_MSG(suspend_time_ >= 0, "switchover without suspension");
+  AGILE_CHECK(metrics_.switchover_time < 0);
+  (void)tick;
+
+  vm::VirtualMachine* machine = params_.machine;
+  params_.source->detach_vm(machine);
+  params_.dest->attach_vm(machine, params_.load);
+  // The destination process's memory becomes the VM's memory; the source
+  // process's copy stays with the manager to serve push/demand traffic.
+  source_mem_owned_ = machine->swap_memory(std::move(dest_mem_owned_));
+  source_mem_ = source_mem_owned_.get();
+  machine->resume();
+
+  SimTime now = cluster_->simulation().now();
+  metrics_.switchover_time = now;
+  metrics_.downtime = now - suspend_time_;
+  AGILE_LOG_INFO("%s migration of %s: resumed at destination (downtime %.0f ms)",
+                 technique(), machine->name().c_str(),
+                 static_cast<double>(metrics_.downtime) / 1000.0);
+}
+
+void MigrationManager::finish() {
+  AGILE_CHECK(!metrics_.completed);
+  metrics_.completed = true;
+  metrics_.end_time = cluster_->simulation().now();
+  if (hook_id_ != 0) {
+    cluster_->remove_hook(hook_id_);
+    hook_id_ = 0;
+  }
+  // `stream_` stays alive until the manager is destroyed: finish() is often
+  // reached from inside one of the stream's own delivery callbacks, and late
+  // duplicate deliveries may still be in flight.
+  AGILE_LOG_INFO("%s migration of %s: complete in %.1f s (%.1f MiB on wire)",
+                 technique(), params_.machine->name().c_str(),
+                 to_seconds(metrics_.total_time()),
+                 to_mib(metrics_.bytes_transferred));
+  if (on_complete_) on_complete_();
+}
+
+}  // namespace agile::migration

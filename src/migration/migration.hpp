@@ -1,0 +1,146 @@
+// Live migration framework.
+//
+// `MigrationManager` is the per-VM migration thread of the paper. A concrete
+// manager (PrecopyMigration, PostcopyMigration, AgileMigration) is created
+// for one VM, wired to the cluster's quantum loop, and drives the transfer
+// state machine:
+//
+//  * a fresh destination-process memory is allocated (all pages kRemote),
+//  * pages travel over a WireStream between the hosts' NICs,
+//  * the migration thread's time budget (one quantum per tick) self-paces
+//    the scan — swap-ins, page copies and a full send window all consume it,
+//  * switchover suspends the VM, moves it (and its workload) to the
+//    destination host, swaps in the destination memory, and resumes it,
+//  * `MigrationMetrics` records the paper's measures: total time, downtime,
+//    bytes on the migration channel, demand-fault counts, etc.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "host/cluster.hpp"
+#include "mem/pagemap.hpp"
+#include "migration/wire.hpp"
+#include "util/bitmap.hpp"
+
+namespace agile::migration {
+
+struct MigrationConfig {
+  Bytes page_header = 64;        ///< Wire framing per full page.
+  Bytes descriptor_bytes = 16;   ///< SWAPPED/zero-page descriptor message.
+  Bytes cpu_state_bytes = 4_MiB; ///< vCPU + virtual device state blob.
+  SimTime downtime_target = msec(300);  ///< Pre-copy convergence target.
+  std::uint32_t max_rounds = 30;        ///< Pre-copy iteration cap.
+  /// Max stream backlog before the thread stalls. Must comfortably exceed
+  /// one quantum of line rate (~12 MB at 1 Gbps / 100 ms) or the stream runs
+  /// dry between scheduling quanta.
+  Bytes send_window = 32_MiB;
+  SimTime page_copy_cost = 2;    ///< µs of thread time per resident page sent.
+  SimTime fault_overhead = 25;   ///< µs: UMEM trap + UMEMD dispatch.
+};
+
+struct MigrationMetrics {
+  SimTime start_time = -1;
+  SimTime switchover_time = -1;  ///< When execution flipped to the destination.
+  SimTime end_time = -1;         ///< When the source released the last state.
+  SimTime downtime = 0;
+
+  Bytes bytes_transferred = 0;   ///< On the direct source→dest channel.
+  Bytes bytes_from_swap_device = 0;  ///< Cold pages demand-read at the dest.
+  Bytes bytes_scattered = 0;     ///< Source → intermediaries (scatter-gather).
+
+  std::uint64_t pages_sent_full = 0;   ///< Full page payloads (incl. resends).
+  std::uint64_t pages_sent_descriptor = 0;  ///< SWAPPED / zero-page markers.
+  std::uint64_t pages_demand_served = 0;    ///< Network demand faults served.
+  std::uint64_t pages_swap_faulted = 0;     ///< Dest faults served by the swap device.
+  std::uint64_t pages_swapped_in_at_source = 0;  ///< Baseline swap-in cost.
+  std::uint64_t duplicate_pages = 0;   ///< Push raced a demand fault.
+  std::uint32_t precopy_rounds = 0;
+
+  bool completed = false;
+
+  SimTime total_time() const {
+    return (completed && start_time >= 0) ? end_time - start_time : -1;
+  }
+};
+
+struct MigrationParams {
+  vm::VirtualMachine* machine = nullptr;
+  workload::Workload* load = nullptr;  ///< May be null (bare VM).
+  host::Host* source = nullptr;
+  host::Host* dest = nullptr;
+  /// Swap device for the destination process (baselines: the destination
+  /// host's partition; Agile: the VM's portable per-VM device).
+  swap::SwapDevice* dest_swap = nullptr;
+  Bytes dest_reservation = 0;  ///< cgroup reservation at the destination.
+};
+
+class MigrationManager {
+ public:
+  MigrationManager(host::Cluster* cluster, MigrationParams params,
+                   MigrationConfig config);
+  virtual ~MigrationManager();
+
+  MigrationManager(const MigrationManager&) = delete;
+  MigrationManager& operator=(const MigrationManager&) = delete;
+
+  /// Begins the migration (registers with the cluster quantum loop).
+  void start();
+
+  bool started() const { return started_; }
+  bool completed() const { return metrics_.completed; }
+  const MigrationMetrics& metrics() const { return metrics_; }
+
+  /// Fires once when the migration completes.
+  void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
+
+  virtual const char* technique() const = 0;
+
+  vm::VirtualMachine* machine() const { return params_.machine; }
+
+  /// Destination-process memory. The pointer is stable from start() through
+  /// the end of the migration (ownership moves into the VM at switchover,
+  /// but the object does not).
+  mem::GuestMemory* dest_memory() const { return dest_mem_; }
+  /// Source-process memory (the VM's own until switchover, then retained
+  /// here until completion).
+  mem::GuestMemory* source_memory() const { return source_mem_; }
+
+ protected:
+  /// Per-quantum protocol step; `budget` is the migration thread's time.
+  virtual void on_tick(SimTime now, SimTime dt, std::uint32_t tick) = 0;
+
+  /// Moves execution to the destination: suspend accounting, host move,
+  /// memory swap, resume. Subclasses call this at their switchover point,
+  /// after `begin_suspend` + CPU-state delivery.
+  void complete_switchover(std::uint32_t tick);
+
+  /// Marks the VM suspended and remembers when (downtime starts).
+  void begin_suspend();
+
+  /// Wraps up: metrics, hook removal, completion callback. Subclasses finish
+  /// source teardown before calling.
+  void finish();
+
+  std::uint64_t page_count() const { return params_.machine->page_count(); }
+  Bytes full_page_bytes() const { return kPageSize + config_.page_header; }
+
+  host::Cluster* cluster_;
+  MigrationParams params_;
+  MigrationConfig config_;
+  MigrationMetrics metrics_;
+
+  std::unique_ptr<WireStream> stream_;
+  std::unique_ptr<mem::GuestMemory> dest_mem_owned_;  ///< Until switchover.
+  mem::GuestMemory* dest_mem_ = nullptr;              ///< Stable view of it.
+  mem::GuestMemory* source_mem_ = nullptr;
+  std::unique_ptr<mem::GuestMemory> source_mem_owned_;  ///< After switchover.
+
+ private:
+  bool started_ = false;
+  SimTime suspend_time_ = -1;
+  std::uint64_t hook_id_ = 0;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace agile::migration

@@ -1,0 +1,125 @@
+#include "migration/postcopy.hpp"
+
+#include "util/log.hpp"
+
+namespace agile::migration {
+
+void PostcopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
+  if (phase_ == Phase::kInit) {
+    // "Upon beginning the migration, the VM is immediately suspended."
+    sent_.reset(page_count(), false);
+    received_.reset(page_count(), false);
+    begin_suspend();
+    metrics_.bytes_transferred += config_.cpu_state_bytes;
+    stream_->send(config_.cpu_state_bytes, [this] {
+      complete_switchover(cluster_->tick_index());
+      params_.machine->set_remote_fault_handler(
+          [this](PageIndex p, bool write, std::uint32_t t) {
+            return handle_fault(p, write, t);
+          });
+      phase_ = Phase::kPush;
+    });
+    phase_ = Phase::kFlipWait;
+    return;
+  }
+  if (phase_ != Phase::kPush) return;
+
+  SimTime budget = dt - debt_;
+  debt_ = 0;
+  if (budget <= 0) {
+    debt_ = -budget;
+    return;
+  }
+  while (budget > 0 && phase_ == Phase::kPush) {
+    if (stream_->backlog() >= config_.send_window) break;
+    std::size_t p = sent_.find_next_clear(cursor_);
+    if (p == Bitmap::npos) break;  // all enqueued; finish fires on delivery
+    cursor_ = p + 1;
+    sent_.set(p);
+    budget -= push_page(p, tick);
+  }
+  if (budget < 0) debt_ = -budget;
+}
+
+SimTime PostcopyMigration::push_page(PageIndex p, std::uint32_t tick) {
+  SimTime spent = config_.page_copy_cost;
+  mem::PageState st = source_mem_->state(p);
+  AGILE_CHECK_MSG(st != mem::PageState::kRemote, "pushing an already-released page");
+  if (st == mem::PageState::kSwapped) {
+    spent += source_mem_->swap_in_for_transfer(p, tick);
+    ++metrics_.pages_swapped_in_at_source;
+    st = mem::PageState::kResident;
+  }
+  if (st == mem::PageState::kUntouched) {
+    ++metrics_.pages_sent_descriptor;
+    metrics_.bytes_transferred += config_.descriptor_bytes;
+    stream_->send(config_.descriptor_bytes, [this, p] { deliver_page(p); });
+  } else {
+    ++metrics_.pages_sent_full;
+    metrics_.bytes_transferred += full_page_bytes();
+    stream_->send(full_page_bytes(), [this, p] { deliver_page(p); });
+  }
+  return spent;
+}
+
+void PostcopyMigration::deliver_page(PageIndex p) {
+  if (received_.test(p)) {
+    // A demand fault overtook this pushed copy; the receiver discards it.
+    ++metrics_.duplicate_pages;
+  } else {
+    received_.set(p);
+    if (source_mem_->state(p) == mem::PageState::kUntouched) {
+      dest_mem_->install_untouched(p);
+    } else {
+      dest_mem_->install_resident(p, cluster_->tick_index());
+    }
+  }
+  source_mem_->release_page(p);  // progressive source memory relief
+  maybe_finish();
+}
+
+SimTime PostcopyMigration::handle_fault(PageIndex p, bool, std::uint32_t tick) {
+  AGILE_CHECK(!received_.test(p));
+  SimTime latency = config_.fault_overhead;
+  net::Network& net = cluster_->network();
+  net::NodeId dst = params_.dest->node();
+  net::NodeId src = params_.source->node();
+
+  mem::PageState st = source_mem_->state(p);
+  AGILE_CHECK_MSG(st != mem::PageState::kRemote, "fault on a released page");
+  if (st == mem::PageState::kSwapped) {
+    // The memory-constrained source must read the page off its swap device
+    // before it can answer — the paper's post-copy degradation mechanism.
+    latency += source_mem_->swap_in_for_transfer(p, tick, /*sequential=*/false);
+    st = mem::PageState::kResident;
+  }
+  if (st == mem::PageState::kUntouched) {
+    latency += net.rpc_latency(dst, src, config_.descriptor_bytes);
+    net.consume_background(dst, src, config_.descriptor_bytes);
+    net.consume_background(src, dst, config_.descriptor_bytes);
+    metrics_.bytes_transferred += config_.descriptor_bytes;
+    dest_mem_->install_untouched(p);
+  } else {
+    latency += net.rpc_latency(dst, src, full_page_bytes());
+    net.consume_background(dst, src, config_.descriptor_bytes);  // request
+    net.consume_background(src, dst, full_page_bytes());         // response
+    metrics_.bytes_transferred += full_page_bytes();
+    dest_mem_->install_resident(p, tick);
+  }
+  sent_.set(p);
+  received_.set(p);
+  ++metrics_.pages_demand_served;
+  source_mem_->release_page(p);
+  maybe_finish();
+  return latency;
+}
+
+void PostcopyMigration::maybe_finish() {
+  if (phase_ == Phase::kDone || received_.count() != page_count()) return;
+  phase_ = Phase::kDone;
+  params_.machine->clear_remote_fault_handler();
+  source_mem_->teardown(/*free_slots=*/true);
+  finish();
+}
+
+}  // namespace agile::migration

@@ -1,0 +1,44 @@
+// Post-copy live migration (the Hines/Deshpande/Gopalan baseline).
+//
+// The VM is suspended immediately; once the CPU state lands, execution
+// resumes at the destination with *no* memory. Two mechanisms fill it:
+// demand paging (guest faults trap into the fault engine, which fetches the
+// page from the source over the network — the source first swapping it in
+// from its SSD if it was cold) and an active push sweep from the source.
+// Every page travels exactly once; duplicates from push/fault races are
+// detected at the receiver and dropped. Source memory is freed progressively
+// as pages are delivered, which is what relieves source memory pressure.
+#pragma once
+
+#include "migration/migration.hpp"
+
+namespace agile::migration {
+
+class PostcopyMigration final : public MigrationManager {
+ public:
+  using MigrationManager::MigrationManager;
+
+  const char* technique() const override { return "post-copy"; }
+
+  /// Pages the destination received (for tests).
+  std::uint64_t pages_received() const { return received_.count(); }
+
+ protected:
+  void on_tick(SimTime now, SimTime dt, std::uint32_t tick) override;
+
+ private:
+  enum class Phase { kInit, kFlipWait, kPush, kDone };
+
+  SimTime push_page(PageIndex p, std::uint32_t tick);
+  SimTime handle_fault(PageIndex p, bool write, std::uint32_t tick);
+  void deliver_page(PageIndex p);
+  void maybe_finish();
+
+  Phase phase_ = Phase::kInit;
+  Bitmap sent_;      ///< Enqueued on the stream or served via a fault.
+  Bitmap received_;  ///< Destination holds the authoritative copy.
+  std::uint64_t cursor_ = 0;
+  SimTime debt_ = 0;
+};
+
+}  // namespace agile::migration

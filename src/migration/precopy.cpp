@@ -1,0 +1,108 @@
+#include "migration/precopy.hpp"
+
+#include "util/log.hpp"
+
+namespace agile::migration {
+
+void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
+  if (phase_ == Phase::kInit) {
+    dirty_.reset(page_count(), /*initial=*/true);  // round 1: everything
+    next_dirty_.reset(page_count(), false);
+    source_mem_->attach_dirty_log(&next_dirty_);
+    round_ = 1;
+    phase_ = Phase::kLive;
+  }
+  if (phase_ == Phase::kAwaitResume) return;  // CPU state in flight
+
+  SimTime budget = dt - debt_;
+  debt_ = 0;
+  if (budget <= 0) {
+    debt_ = -budget;
+    return;
+  }
+
+  while (budget > 0 &&
+         (phase_ == Phase::kLive || phase_ == Phase::kStopCopy)) {
+    if (stream_->backlog() >= config_.send_window) break;  // TCP window full
+    std::size_t p = dirty_.find_next_set(cursor_);
+    if (p == Bitmap::npos) {
+      if (phase_ == Phase::kLive) {
+        end_of_live_round();
+      } else {
+        start_stop_copy();  // stop-copy scan finished: ship CPU state
+        break;
+      }
+      continue;
+    }
+    cursor_ = p + 1;
+    dirty_.clear(p);
+    budget -= send_page(p, tick);
+  }
+  if (budget < 0) debt_ = -budget;
+}
+
+SimTime PrecopyMigration::send_page(PageIndex p, std::uint32_t tick) {
+  SimTime spent = config_.page_copy_cost;
+  mem::PageState st = source_mem_->state(p);
+  if (st == mem::PageState::kSwapped) {
+    // Must be brought back into memory before it can be sent (and doing so
+    // can evict other pages of this very VM).
+    spent += source_mem_->swap_in_for_transfer(p, tick);
+    ++metrics_.pages_swapped_in_at_source;
+    st = mem::PageState::kResident;
+  }
+  mem::GuestMemory* dest = dest_memory();
+  if (st == mem::PageState::kUntouched) {
+    ++metrics_.pages_sent_descriptor;
+    metrics_.bytes_transferred += config_.descriptor_bytes;
+    stream_->send(config_.descriptor_bytes, [dest, p] {
+      if (dest->state(p) == mem::PageState::kRemote) dest->install_untouched(p);
+    });
+  } else {
+    ++metrics_.pages_sent_full;
+    metrics_.bytes_transferred += full_page_bytes();
+    host::Cluster* cluster = cluster_;
+    stream_->send(full_page_bytes(), [dest, p, cluster] {
+      dest->receive_overwrite(p, cluster->tick_index());
+    });
+  }
+  return spent;
+}
+
+void PrecopyMigration::end_of_live_round() {
+  metrics_.precopy_rounds = round_;
+  std::uint64_t remaining = next_dirty_.count();
+  double est_seconds = static_cast<double>(remaining * full_page_bytes()) /
+                       cluster_->network().link_bytes_per_sec();
+  bool converged = est_seconds * 1e6 <= static_cast<double>(config_.downtime_target);
+  if (converged || round_ >= config_.max_rounds) {
+    AGILE_LOG_INFO("pre-copy %s: round %u done, %llu dirty left -> stop-and-copy",
+                   params_.machine->name().c_str(), round_,
+                   static_cast<unsigned long long>(remaining));
+    begin_suspend();
+    source_mem_->detach_dirty_log();
+    std::swap(dirty_, next_dirty_);
+    next_dirty_.clear_all();
+    cursor_ = 0;
+    phase_ = Phase::kStopCopy;
+    return;
+  }
+  ++round_;
+  std::swap(dirty_, next_dirty_);
+  next_dirty_.clear_all();
+  cursor_ = 0;
+}
+
+void PrecopyMigration::start_stop_copy() {
+  phase_ = Phase::kAwaitResume;
+  metrics_.bytes_transferred += config_.cpu_state_bytes;
+  stream_->send(config_.cpu_state_bytes, [this] {
+    // Everything was queued ahead of the CPU state on the same stream, so
+    // the destination memory is complete when this fires.
+    complete_switchover(cluster_->tick_index());
+    source_mem_->teardown(/*free_slots=*/true);
+    finish();
+  });
+}
+
+}  // namespace agile::migration

@@ -1,0 +1,226 @@
+#include "migration/scatter_gather.hpp"
+
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace agile::migration {
+
+namespace {
+// Slot table for in-flight scattered pages lives protocol-side (the source
+// page table forgets slots it hands over). kNoSlot marks an untouched page.
+}  // namespace
+
+ScatterGatherMigration::ScatterGatherMigration(host::Cluster* cluster,
+                                               MigrationParams params,
+                                               MigrationConfig config)
+    : MigrationManager(cluster, params, config) {
+  AGILE_CHECK_MSG(params.dest_swap == params.machine->memory().swap_device(),
+                  "scatter-gather needs the portable per-VM swap device");
+}
+
+void ScatterGatherMigration::on_tick(SimTime now, SimTime dt,
+                                     std::uint32_t tick) {
+  if (phase_ == Phase::kInit) {
+    handled_.reset(page_count(), false);
+    scattered_slot_.assign(page_count(), swap::kNoSlot);
+    begin_suspend();
+    metrics_.bytes_transferred += config_.cpu_state_bytes;
+    stream_->send(config_.cpu_state_bytes, [this] {
+      complete_switchover(cluster_->tick_index());
+      params_.machine->set_remote_fault_handler(
+          [this](PageIndex p, bool write, std::uint32_t t) {
+            return handle_fault(p, write, t);
+          });
+      if (on_switchover_) on_switchover_();
+      phase_ = Phase::kScatter;
+    });
+    phase_ = Phase::kFlipWait;
+    return;
+  }
+  if (phase_ == Phase::kFlipWait || phase_ == Phase::kDone) return;
+
+  if (phase_ == Phase::kGatherOnly) maybe_finish_scatter();
+  if (phase_ == Phase::kDone) return;
+
+  if (phase_ == Phase::kScatter) {
+    SimTime budget = dt - debt_;
+    debt_ = 0;
+    if (budget > 0) {
+      // Scatter near NIC line rate: evicting a page moves it over the
+      // network to an intermediate host, so pace by bytes per quantum —
+      // leaving headroom so the descriptor stream to the destination is not
+      // starved by our own background traffic.
+      double byte_budget = cluster_->network().link_bytes_per_sec() *
+                           to_seconds(dt) * 0.9;
+      while (budget > 0 && byte_budget > 0) {
+        if (stream_->backlog() >= config_.send_window) break;
+        std::size_t p = handled_.find_next_clear(scatter_cursor_);
+        if (p == Bitmap::npos) {
+          maybe_finish_scatter();
+          break;
+        }
+        scatter_cursor_ = p + 1;
+        Bytes before = metrics_.bytes_scattered;
+        budget -= scatter_page(p, tick);
+        // Pace by what actually hit the network: evictions cost a page,
+        // descriptor-only pages (already in the VMD / untouched) only their
+        // 16-byte message.
+        byte_budget -= static_cast<double>(metrics_.bytes_scattered - before +
+                                           config_.descriptor_bytes);
+      }
+      if (budget < 0) debt_ = -budget;
+    }
+  }
+  gather(dt, tick);
+  (void)now;
+}
+
+SimTime ScatterGatherMigration::scatter_page(PageIndex p, std::uint32_t tick) {
+  (void)tick;
+  mem::PageState st = source_mem_->state(p);
+  AGILE_CHECK_MSG(st != mem::PageState::kRemote, "scattering a released page");
+  handled_.set(p);
+  SimTime spent = config_.page_copy_cost;
+  swap::SwapSlot slot = swap::kNoSlot;
+  switch (st) {
+    case mem::PageState::kResident: {
+      // Targeted eviction: the page travels source -> intermediary (free if
+      // a clean swap copy already exists there).
+      bool had_copy = source_mem_->swap_slot(p) != swap::kNoSlot;
+      source_mem_->evict_page(p);
+      if (!had_copy) metrics_.bytes_scattered += kPageSize;
+      slot = source_mem_->swap_slot(p);
+      break;
+    }
+    case mem::PageState::kSwapped:
+      // Already on the portable device: only the descriptor moves.
+      slot = source_mem_->swap_slot(p);
+      break;
+    case mem::PageState::kUntouched:
+    case mem::PageState::kRemote:
+      break;
+  }
+  scattered_slot_[p] = slot;
+  if (st == mem::PageState::kSwapped || st == mem::PageState::kResident) {
+    // Ownership passes to the destination now; the source must not free the
+    // slot at teardown.
+    source_mem_->forget_slot(p);
+  }
+  if (source_mem_->state(p) != mem::PageState::kRemote) {
+    source_mem_->release_page(p);
+  }
+
+  ++metrics_.pages_sent_descriptor;
+  metrics_.bytes_transferred += config_.descriptor_bytes;
+  mem::GuestMemory* dest = dest_mem_;
+  host::Cluster* cluster = cluster_;
+  stream_->send(config_.descriptor_bytes, [dest, cluster, p, slot] {
+    if (dest->state(p) != mem::PageState::kRemote) return;  // fault overtook us
+    if (slot == swap::kNoSlot) {
+      dest->install_untouched(p);
+    } else {
+      dest->install_swapped(p, slot);
+    }
+    (void)cluster;
+  });
+  return spent;
+}
+
+void ScatterGatherMigration::gather(SimTime dt, std::uint32_t tick) {
+  // Background prefetch out of the VMD into destination memory, up to the
+  // reservation and a bandwidth share (it competes with the scatter stream
+  // at the intermediaries, which the network model accounts for).
+  double byte_budget =
+      cluster_->network().link_bytes_per_sec() * to_seconds(dt) * 0.5;
+  mem::GuestMemory* dest = dest_mem_;
+  while (byte_budget > 0) {
+    if (dest->resident_pages() + 1 > dest->reservation_pages()) return;
+    // Find the next gatherable page (installed as swapped at the dest).
+    std::uint64_t start = gather_cursor_;
+    PageIndex candidate = static_cast<PageIndex>(-1);
+    for (std::uint64_t i = start; i < page_count(); ++i) {
+      if (dest->state(i) == mem::PageState::kSwapped) {
+        candidate = i;
+        break;
+      }
+    }
+    if (candidate == static_cast<PageIndex>(-1)) return;
+    gather_cursor_ = candidate + 1;
+    dest->swap_in_for_transfer(candidate, tick);
+    ++pages_gathered_;
+    byte_budget -= kPageSize;
+  }
+}
+
+SimTime ScatterGatherMigration::handle_fault(PageIndex p, bool,
+                                             std::uint32_t tick) {
+  SimTime latency = config_.fault_overhead;
+  if (handled_.test(p)) {
+    // Scattered, descriptor still in flight: resolve from the slot table; the
+    // subsequent touch() pays the actual VMD read.
+    if (scattered_slot_[p] == swap::kNoSlot) {
+      dest_mem_->install_untouched(p);
+    } else {
+      dest_mem_->install_swapped(p, scattered_slot_[p]);
+    }
+    return latency;
+  }
+  // Source still authoritative for this page.
+  handled_.set(p);
+  net::Network& net = cluster_->network();
+  net::NodeId dst = params_.dest->node();
+  net::NodeId src = params_.source->node();
+  mem::PageState st = source_mem_->state(p);
+  AGILE_CHECK(st != mem::PageState::kRemote);
+  switch (st) {
+    case mem::PageState::kUntouched:
+      scattered_slot_[p] = swap::kNoSlot;
+      dest_mem_->install_untouched(p);
+      break;
+    case mem::PageState::kSwapped:
+      // Point the destination at the existing VMD copy.
+      scattered_slot_[p] = source_mem_->swap_slot(p);
+      dest_mem_->install_swapped(p, scattered_slot_[p]);
+      source_mem_->forget_slot(p);
+      break;
+    case mem::PageState::kResident:
+      latency += net.rpc_latency(dst, src, full_page_bytes());
+      net.consume_background(dst, src, config_.descriptor_bytes);
+      net.consume_background(src, dst, full_page_bytes());
+      metrics_.bytes_transferred += full_page_bytes();
+      ++metrics_.pages_demand_served;
+      dest_mem_->install_resident(p, tick);
+      break;
+    case mem::PageState::kRemote:
+      break;  // unreachable
+  }
+  if (source_mem_->state(p) != mem::PageState::kRemote) {
+    source_mem_->release_page(p);
+  }
+  maybe_finish_scatter();
+  return latency;
+}
+
+void ScatterGatherMigration::maybe_finish_scatter() {
+  if (phase_ == Phase::kDone) return;
+  if (handled_.count() != page_count() || !stream_->idle()) {
+    if (handled_.count() == page_count() && !stream_->idle()) {
+      phase_ = Phase::kGatherOnly;  // descriptors still draining
+    }
+    return;
+  }
+  phase_ = Phase::kDone;
+  scatter_done_ = cluster_->simulation().now();
+  params_.machine->clear_remote_fault_handler();
+  source_mem_->teardown(/*free_slots=*/true);
+  AGILE_LOG_INFO("scatter-gather %s: source deprovisioned in %.1f s "
+                 "(%.0f MiB scattered, %llu gathered so far)",
+                 params_.machine->name().c_str(),
+                 to_seconds(scatter_done_ - metrics_.start_time),
+                 to_mib(metrics_.bytes_scattered),
+                 static_cast<unsigned long long>(pages_gathered_));
+  finish();
+}
+
+}  // namespace agile::migration

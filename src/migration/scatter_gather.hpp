@@ -1,0 +1,67 @@
+// Scatter-Gather live migration (Deshpande et al., IEEE Cloud 2014 — the
+// authors' companion technique, cited as related work [22] in the paper).
+//
+// Goal: *evict* the VM from the source as fast as possible, even when the
+// destination cannot absorb it at line rate. Execution flips immediately
+// (post-copy style). The source then "scatters" every page it still holds
+// into the VM's portable per-VM swap device — the VMD's intermediate hosts —
+// at NIC line rate, handing the destination a 16-byte descriptor per page.
+// The destination "gathers": it prefetches pages back out of the VMD into
+// its memory in the background, and demand faults are served from the VMD
+// (or from the source, for pages not yet scattered).
+//
+// Compared to Agile migration: no live pre-copy round (nothing is sent in
+// full on the direct channel except demand-fault responses), so the source
+// is free after scattering its resident set once — the fastest
+// deprovisioning of the four techniques, at the cost of a longer
+// degradation tail at the destination.
+#pragma once
+
+#include "migration/migration.hpp"
+
+namespace agile::migration {
+
+class ScatterGatherMigration final : public MigrationManager {
+ public:
+  ScatterGatherMigration(host::Cluster* cluster, MigrationParams params,
+                         MigrationConfig config);
+
+  const char* technique() const override { return "scatter-gather"; }
+
+  /// Fired at the execution flip (re-attach the portable device, etc.).
+  void set_on_switchover(std::function<void()> fn) {
+    on_switchover_ = std::move(fn);
+  }
+
+  /// When the source finished scattering (its memory is fully released);
+  /// -1 while still scattering. The "deprovision time" metric.
+  SimTime scatter_complete_time() const { return scatter_done_; }
+
+  /// Pages the gatherer has prefetched from the VMD so far.
+  std::uint64_t pages_gathered() const { return pages_gathered_; }
+
+ protected:
+  void on_tick(SimTime now, SimTime dt, std::uint32_t tick) override;
+
+ private:
+  enum class Phase { kInit, kFlipWait, kScatter, kGatherOnly, kDone };
+
+  SimTime scatter_page(PageIndex p, std::uint32_t tick);
+  void gather(SimTime dt, std::uint32_t tick);
+  SimTime handle_fault(PageIndex p, bool write, std::uint32_t tick);
+  void maybe_finish_scatter();
+
+  Phase phase_ = Phase::kInit;
+  Bitmap handled_;  ///< Source no longer holds this page.
+  /// Slot each scattered page occupies on the per-VM device (kNoSlot marks a
+  /// zero page); resolves faults that overtake their descriptor.
+  std::vector<swap::SwapSlot> scattered_slot_;
+  std::uint64_t scatter_cursor_ = 0;
+  std::uint64_t gather_cursor_ = 0;
+  std::uint64_t pages_gathered_ = 0;
+  SimTime scatter_done_ = -1;
+  SimTime debt_ = 0;
+  std::function<void()> on_switchover_;
+};
+
+}  // namespace agile::migration

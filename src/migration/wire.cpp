@@ -1,0 +1,35 @@
+#include "migration/wire.hpp"
+
+namespace agile::migration {
+
+WireStream::WireStream(net::Network* network, net::NodeId src, net::NodeId dst)
+    : network_(network) {
+  AGILE_CHECK(network_ != nullptr);
+  flow_ = network_->open_flow(src, dst, [this](Bytes n) { on_progress(n); });
+}
+
+WireStream::~WireStream() { network_->close_flow(flow_); }
+
+void WireStream::send(Bytes bytes, std::function<void()> on_delivered) {
+  AGILE_CHECK(bytes > 0);
+  queue_.push_back({bytes, std::move(on_delivered)});
+  network_->offer(flow_, bytes);
+}
+
+void WireStream::on_progress(Bytes n) {
+  delivered_ += n;
+  while (n > 0 && !queue_.empty()) {
+    Message& m = queue_.front();
+    if (m.remaining > n) {
+      m.remaining -= n;
+      return;
+    }
+    n -= m.remaining;
+    // Move the message out before invoking: the callback may send more.
+    auto fn = std::move(m.on_delivered);
+    queue_.pop_front();
+    if (fn) fn();
+  }
+}
+
+}  // namespace agile::migration

@@ -1,0 +1,51 @@
+// The Migration Managers' TCP connection.
+//
+// A `WireStream` wraps a network flow and keeps the FIFO of messages riding
+// it (full pages, SWAPPED descriptors, the CPU state blob, the dirty
+// bitmap). Delivery callbacks fire in send order once the receiver has the
+// complete message — exactly the semantics of a byte stream.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "net/network.hpp"
+
+namespace agile::migration {
+
+class WireStream {
+ public:
+  WireStream(net::Network* network, net::NodeId src, net::NodeId dst);
+  ~WireStream();
+
+  WireStream(const WireStream&) = delete;
+  WireStream& operator=(const WireStream&) = delete;
+
+  /// Queues a message of `bytes`; `on_delivered` fires when the last byte
+  /// reaches the receiver (may be null for fire-and-forget).
+  void send(Bytes bytes, std::function<void()> on_delivered);
+
+  /// Bytes queued but not yet delivered.
+  Bytes backlog() const { return network_->backlog(flow_); }
+
+  /// Total bytes delivered so far.
+  Bytes delivered_bytes() const { return delivered_; }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t queued_messages() const { return queue_.size(); }
+
+ private:
+  void on_progress(Bytes n);
+
+  struct Message {
+    Bytes remaining;
+    std::function<void()> on_delivered;
+  };
+
+  net::Network* network_;
+  net::FlowId flow_;
+  std::deque<Message> queue_;
+  Bytes delivered_ = 0;
+};
+
+}  // namespace agile::migration

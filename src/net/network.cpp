@@ -1,0 +1,196 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace agile::net {
+
+Network::Network(NetworkConfig config) : config_(config) {
+  AGILE_CHECK(config_.link_bits_per_sec > 0);
+  AGILE_CHECK(config_.protocol_efficiency > 0 && config_.protocol_efficiency <= 1.0);
+  payload_rate_ = config_.link_bits_per_sec / 8.0 * config_.protocol_efficiency;
+}
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(Node{std::move(name), 0, 0, 0.0, 0.0, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  AGILE_CHECK(id < nodes_.size());
+  return nodes_[id].name;
+}
+
+FlowId Network::open_flow(NodeId src, NodeId dst,
+                          std::function<void(Bytes)> on_delivered) {
+  AGILE_CHECK(src < nodes_.size() && dst < nodes_.size());
+  AGILE_CHECK_MSG(src != dst, "flow endpoints must differ");
+  FlowId id = next_flow_id_++;
+  flows_.emplace(id, Flow{src, dst, 0, 0, std::move(on_delivered)});
+  return id;
+}
+
+Network::Flow& Network::flow_ref(FlowId id) {
+  auto it = flows_.find(id);
+  AGILE_CHECK_MSG(it != flows_.end(), "unknown flow");
+  return it->second;
+}
+
+const Network::Flow& Network::flow_ref(FlowId id) const {
+  auto it = flows_.find(id);
+  AGILE_CHECK_MSG(it != flows_.end(), "unknown flow");
+  return it->second;
+}
+
+void Network::offer(FlowId flow, Bytes bytes) { flow_ref(flow).backlog += bytes; }
+
+Bytes Network::backlog(FlowId flow) const { return flow_ref(flow).backlog; }
+
+void Network::close_flow(FlowId flow) {
+  auto it = flows_.find(flow);
+  AGILE_CHECK_MSG(it != flows_.end(), "closing unknown flow");
+  flows_.erase(it);
+}
+
+void Network::consume_background(NodeId src, NodeId dst, Bytes bytes) {
+  AGILE_CHECK(src < nodes_.size() && dst < nodes_.size());
+  nodes_[src].background_tx += bytes;
+  nodes_[dst].background_rx += bytes;
+}
+
+SimTime Network::rpc_latency(NodeId client, NodeId server, Bytes payload) const {
+  AGILE_CHECK(client < nodes_.size() && server < nodes_.size());
+  double u = std::max(nodes_[server].util_tx, nodes_[client].util_rx);
+  u = std::clamp(u, 0.0, 1.0 - 1.0 / config_.max_queue_factor);
+  double transfer_sec = static_cast<double>(payload) / payload_rate_;
+  double queue_factor = std::min(1.0 / (1.0 - u), config_.max_queue_factor);
+  return config_.base_rtt + static_cast<SimTime>(transfer_sec * queue_factor * 1e6);
+}
+
+void Network::advance(SimTime dt) {
+  AGILE_CHECK(dt > 0);
+  const double dt_sec = to_seconds(dt);
+  const double raw_capacity = payload_rate_ * dt_sec;
+
+  // Per-direction remaining capacity after this quantum's background traffic.
+  std::vector<double> cap_tx(nodes_.size()), cap_rx(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    cap_tx[i] = std::max(0.0, raw_capacity - static_cast<double>(nodes_[i].background_tx));
+    cap_rx[i] = std::max(0.0, raw_capacity - static_cast<double>(nodes_[i].background_rx));
+  }
+
+  // Progressive-filling max–min fair allocation over active flows.
+  struct Active {
+    FlowId id;
+    NodeId src, dst;
+    double remaining;  // backlog still unallocated
+    double alloc = 0.0;
+  };
+  std::vector<Active> active;
+  active.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    if (f.backlog > 0) active.push_back({id, f.src, f.dst, static_cast<double>(f.backlog)});
+  }
+  // Deterministic order (unordered_map iteration order is not portable).
+  std::sort(active.begin(), active.end(),
+            [](const Active& a, const Active& b) { return a.id < b.id; });
+
+  std::vector<bool> frozen(active.size(), false);
+  std::size_t live = active.size();
+  constexpr double kEps = 1e-6;
+  while (live > 0) {
+    // Users per resource among live flows.
+    std::vector<int> users_tx(nodes_.size(), 0), users_rx(nodes_.size(), 0);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (frozen[i]) continue;
+      ++users_tx[active[i].src];
+      ++users_rx[active[i].dst];
+    }
+    // Largest uniform increment every live flow can take.
+    double inc = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (frozen[i]) continue;
+      inc = std::min(inc, active[i].remaining);
+      inc = std::min(inc, cap_tx[active[i].src] / users_tx[active[i].src]);
+      inc = std::min(inc, cap_rx[active[i].dst] / users_rx[active[i].dst]);
+    }
+    if (!std::isfinite(inc)) break;
+    inc = std::max(inc, 0.0);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (frozen[i]) continue;
+      active[i].alloc += inc;
+      active[i].remaining -= inc;
+      cap_tx[active[i].src] -= inc;
+      cap_rx[active[i].dst] -= inc;
+    }
+    // Freeze flows that hit their backlog or a saturated resource.
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (frozen[i]) continue;
+      if (active[i].remaining <= kEps || cap_tx[active[i].src] <= kEps ||
+          cap_rx[active[i].dst] <= kEps) {
+        frozen[i] = true;
+        --live;
+      }
+    }
+    if (inc <= kEps && live > 0) {
+      // All remaining flows sit on saturated resources; stop.
+      break;
+    }
+  }
+
+  // Commit deliveries and gather callbacks before invoking any of them, so a
+  // callback that opens/closes flows can't invalidate our iteration.
+  struct Delivery {
+    // By value: a callback may close its own (or any other) flow, so
+    // pointers into `flows_` must not outlive this loop.
+    std::function<void(Bytes)> fn;
+    Bytes bytes;
+  };
+  std::vector<Delivery> deliveries;
+  std::vector<double> flow_tx(nodes_.size(), 0.0), flow_rx(nodes_.size(), 0.0);
+  for (const Active& a : active) {
+    auto bytes = static_cast<Bytes>(a.alloc);
+    if (bytes == 0) continue;
+    Flow& f = flow_ref(a.id);
+    bytes = std::min<Bytes>(bytes, f.backlog);
+    f.backlog -= bytes;
+    f.delivered_total += bytes;
+    flow_tx[f.src] += static_cast<double>(bytes);
+    flow_rx[f.dst] += static_cast<double>(bytes);
+    nodes_[f.src].stats.tx_bytes += bytes;
+    nodes_[f.dst].stats.rx_bytes += bytes;
+    if (f.on_delivered) deliveries.push_back({f.on_delivered, bytes});
+  }
+
+  // Fold background traffic into stats and compute utilization for the RPC
+  // latency model; reset the per-quantum accumulators.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    n.stats.tx_bytes += n.background_tx;
+    n.stats.rx_bytes += n.background_rx;
+    n.util_tx = std::min(1.0, (flow_tx[i] + static_cast<double>(n.background_tx)) / raw_capacity);
+    n.util_rx = std::min(1.0, (flow_rx[i] + static_cast<double>(n.background_rx)) / raw_capacity);
+    n.background_tx = 0;
+    n.background_rx = 0;
+  }
+
+  for (const Delivery& d : deliveries) d.fn(d.bytes);
+}
+
+double Network::tx_utilization(NodeId node) const {
+  AGILE_CHECK(node < nodes_.size());
+  return nodes_[node].util_tx;
+}
+
+double Network::rx_utilization(NodeId node) const {
+  AGILE_CHECK(node < nodes_.size());
+  return nodes_[node].util_rx;
+}
+
+const NodeStats& Network::stats(NodeId node) const {
+  AGILE_CHECK(node < nodes_.size());
+  return nodes_[node].stats;
+}
+
+}  // namespace agile::net

@@ -1,0 +1,121 @@
+// Flow-level network model.
+//
+// Hosts hang off a single non-blocking switch (the paper's top-of-rack
+// setup); each host NIC is full duplex with a configurable line rate
+// (default 1 Gbps). Two kinds of traffic are modeled:
+//
+//  * Flows — bulk byte streams (migration memory transfer, VMD swap-out
+//    trains). A flow carries a backlog of offered bytes; every simulation
+//    quantum the network drains backlogs under a max–min fair allocation
+//    constrained by the sender's egress and receiver's ingress rates.
+//    Delivered bytes are reported to the owner, which maps them back onto
+//    page descriptors (FIFO order, matching a TCP stream).
+//  * Background/RPC traffic — small request/response exchanges (demand-page
+//    faults, VMD point reads, client ops). Callers account the bytes via
+//    `consume_background` and query `rpc_latency` for a latency estimate
+//    that includes transmission plus a congestion-dependent queueing factor,
+//    so demand paging slows down while a bulk migration saturates the link
+//    and vice versa.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace agile::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+struct NetworkConfig {
+  double link_bits_per_sec = 1e9;  ///< NIC line rate, full duplex (1 Gbps).
+  SimTime base_rtt = 200;          ///< Switch round-trip for a minimal frame, µs.
+  double protocol_efficiency = 0.94;  ///< TCP/IP+Ethernet framing overhead factor.
+  double max_queue_factor = 200.0;  ///< Cap on the congestion queueing multiplier.
+};
+
+struct NodeStats {
+  std::uint64_t tx_bytes = 0;  ///< Total bytes sent (flows + background).
+  std::uint64_t rx_bytes = 0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig config = {});
+
+  NodeId add_node(std::string name);
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const;
+
+  /// Usable payload bytes per second on one NIC direction.
+  double link_bytes_per_sec() const { return payload_rate_; }
+
+  /// Opens a bulk stream from `src` to `dst`. `on_delivered(bytes)` is called
+  /// as bytes reach the receiver. Streams start with an empty backlog; feed
+  /// them with `offer`.
+  FlowId open_flow(NodeId src, NodeId dst, std::function<void(Bytes)> on_delivered);
+
+  /// Adds bytes to a flow's send backlog.
+  void offer(FlowId flow, Bytes bytes);
+
+  /// Bytes offered but not yet delivered.
+  Bytes backlog(FlowId flow) const;
+
+  /// Closes a flow; undelivered backlog is dropped.
+  void close_flow(FlowId flow);
+
+  std::size_t open_flow_count() const { return flows_.size(); }
+
+  /// Accounts small-message traffic for this quantum (affects fairness and
+  /// congestion next `advance`).
+  void consume_background(NodeId src, NodeId dst, Bytes bytes);
+
+  /// Latency estimate for a request/response exchange where the response of
+  /// `payload` bytes travels server→client, under current congestion.
+  SimTime rpc_latency(NodeId client, NodeId server, Bytes payload) const;
+
+  /// Advances the model by `dt`: allocates bandwidth max–min fair, drains
+  /// flow backlogs, fires delivery callbacks, folds background usage into the
+  /// utilization estimate, and resets per-quantum accumulators.
+  void advance(SimTime dt);
+
+  /// Utilization (0..1) of a node's egress/ingress over the last quantum.
+  double tx_utilization(NodeId node) const;
+  double rx_utilization(NodeId node) const;
+
+  const NodeStats& stats(NodeId node) const;
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    Bytes backlog = 0;
+    Bytes delivered_total = 0;
+    std::function<void(Bytes)> on_delivered;
+  };
+
+  struct Node {
+    std::string name;
+    Bytes background_tx = 0;  ///< This quantum, reset in advance().
+    Bytes background_rx = 0;
+    double util_tx = 0.0;  ///< Last quantum.
+    double util_rx = 0.0;
+    NodeStats stats;
+  };
+
+  Flow& flow_ref(FlowId id);
+  const Flow& flow_ref(FlowId id) const;
+
+  NetworkConfig config_;
+  double payload_rate_;  ///< bytes/sec usable per direction.
+  std::vector<Node> nodes_;
+  FlowId next_flow_id_ = 1;
+  std::unordered_map<FlowId, Flow> flows_;
+};
+
+}  // namespace agile::net

@@ -1,0 +1,88 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+namespace agile::sim {
+
+EventId Simulation::schedule_at(SimTime t, EventFn fn) {
+  AGILE_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  EventId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  ++cancelled_pending_;
+  return true;
+}
+
+std::shared_ptr<PeriodicTask> Simulation::schedule_periodic(
+    SimTime period, std::function<void(SimTime)> fn, SimTime first_delay) {
+  AGILE_CHECK(period > 0);
+  auto task = std::shared_ptr<PeriodicTask>(new PeriodicTask(period, std::move(fn)));
+  SimTime delay = first_delay >= 0 ? first_delay : period;
+  schedule_at(now_ + delay, [this, task] {
+    if (!task->alive()) return;
+    task->fn_(now_);
+    reschedule_periodic(task);
+  });
+  return task;
+}
+
+void Simulation::reschedule_periodic(const std::shared_ptr<PeriodicTask>& task) {
+  schedule_at(now_ + task->period_, [this, task] {
+    if (!task->alive()) return;
+    task->fn_(now_);
+    reschedule_periodic(task);
+  });
+}
+
+void Simulation::purge_cancelled_top() {
+  while (!queue_.empty()) {
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    --cancelled_pending_;
+    queue_.pop();
+  }
+}
+
+bool Simulation::step() {
+  purge_cancelled_top();
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  AGILE_CHECK(ev.time >= now_);
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  AGILE_CHECK(t >= now_);
+  stopped_ = false;
+  while (!stopped_) {
+    purge_cancelled_top();
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+std::size_t Simulation::pending_events() const {
+  return queue_.size() - cancelled_pending_;
+}
+
+}  // namespace agile::sim

@@ -1,0 +1,126 @@
+// Discrete-event simulation core.
+//
+// A `Simulation` owns virtual time and a priority queue of events. Ties in
+// time are broken by insertion sequence, so runs are fully deterministic.
+// Components that need a regular cadence (device models, workload execution,
+// metric sampling) register periodic tasks; one-shot events drive experiment
+// scripts ("ramp the workload at t=150 s", "start migration at t=400 s") and
+// protocol timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace agile::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Simulation;
+
+/// Handle to a periodic task. Allows cancellation and period changes (the
+/// WSS reservation controller moves from a 2 s to a 30 s cadence once the
+/// estimate stabilizes).
+class PeriodicTask {
+ public:
+  void cancel() { alive_ = false; }
+  bool alive() const { return alive_; }
+
+  SimTime period() const { return period_; }
+  void set_period(SimTime period) {
+    AGILE_CHECK(period > 0);
+    period_ = period;
+  }
+
+ private:
+  friend class Simulation;
+  explicit PeriodicTask(SimTime period, std::function<void(SimTime)> fn)
+      : period_(period), fn_(std::move(fn)) {}
+
+  bool alive_ = true;
+  SimTime period_;
+  std::function<void(SimTime)> fn_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Returns an id usable with
+  /// `cancel`.
+  EventId schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` `dt` after now.
+  EventId schedule_after(SimTime dt, EventFn fn) {
+    AGILE_CHECK(dt >= 0);
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// Registers a periodic task firing every `period`, first at
+  /// `now + first_delay` (default: one period from now). The task receives
+  /// the current simulated time. The returned handle stays valid until the
+  /// simulation is destroyed.
+  std::shared_ptr<PeriodicTask> schedule_periodic(SimTime period,
+                                                  std::function<void(SimTime)> fn,
+                                                  SimTime first_delay = -1);
+
+  /// Runs events until the queue is exhausted or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= `t`, then sets now to `t`.
+  void run_until(SimTime t);
+
+  /// Executes the single earliest pending event. Returns false if none.
+  bool step();
+
+  /// Stops `run()`/`run_until()` after the current event returns.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Number of events executed so far (for tests and diagnostics).
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void reschedule_periodic(const std::shared_ptr<PeriodicTask>& task);
+  void purge_cancelled_top();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+  std::size_t cancelled_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  // Ids of cancelled-but-still-queued events; consulted lazily on pop.
+  std::vector<EventId> cancelled_;
+};
+
+}  // namespace agile::sim

@@ -1,0 +1,71 @@
+#include "storage/device.hpp"
+
+#include <algorithm>
+
+namespace agile::storage {
+
+SsdModel::SsdModel(SsdConfig config) : config_(config) {
+  AGILE_CHECK(config_.read_bytes_per_sec > 0);
+  AGILE_CHECK(config_.write_bytes_per_sec > 0);
+  AGILE_CHECK(config_.iops > 0);
+}
+
+double SsdModel::op_cost_seconds(Bytes bytes, double dir_bw) const {
+  // An op costs whichever is scarcer for it: bandwidth or IOPS. Large
+  // (clustered) requests are bandwidth-bound, 4 KiB randoms IOPS-bound.
+  double bw_cost = static_cast<double>(bytes) / dir_bw;
+  double iop_cost = 1.0 / config_.iops;
+  return std::max(bw_cost, iop_cost);
+}
+
+double SsdModel::queue_factor(double utilization) {
+  return 1.0 / (1.0 - std::min(utilization, 0.98));
+}
+
+SimTime SsdModel::submit_read(Bytes bytes) {
+  double cost = op_cost_seconds(bytes, config_.read_bytes_per_sec);
+  read_work_ += cost;
+  // Latency composition: any overload carried from previous quanta (the
+  // device is genuinely behind), plus this request's service time stretched
+  // by last quantum's load (M/G/1-flavored congestion). Same-quantum
+  // submissions do NOT queue behind each other: submitters in this simulator
+  // are closed loops that already pace themselves by the returned latency.
+  double u = u_read_ + config_.write_read_interference * u_write_;
+  double carried = read_carry_ + config_.write_read_interference * write_carry_;
+  SimTime latency = config_.base_read_latency +
+                    static_cast<SimTime>((carried + cost * queue_factor(u)) * 1e6);
+  ++stats_.reads;
+  ++stats_.window_reads;
+  stats_.bytes_read += bytes;
+  stats_.window_bytes_read += bytes;
+  return latency;
+}
+
+SimTime SsdModel::submit_write(Bytes bytes) {
+  double cost = op_cost_seconds(bytes, config_.write_bytes_per_sec);
+  write_work_ += cost;
+  SimTime latency =
+      config_.base_write_latency +
+      static_cast<SimTime>((write_carry_ + cost * queue_factor(u_write_)) * 1e6);
+  ++stats_.writes;
+  ++stats_.window_writes;
+  stats_.bytes_written += bytes;
+  stats_.window_bytes_written += bytes;
+  return latency;
+}
+
+void SsdModel::advance(SimTime dt) {
+  AGILE_CHECK(dt >= 0);
+  if (dt == 0) return;
+  double d = to_seconds(dt);
+  // Overload beyond one quantum's service capacity carries over; the rest
+  // becomes the utilization signal that congests the next quantum.
+  read_carry_ = std::max(0.0, read_carry_ + read_work_ - d);
+  write_carry_ = std::max(0.0, write_carry_ + write_work_ - d);
+  u_read_ = std::min(1.0, read_work_ / d);
+  u_write_ = std::min(1.0, write_work_ / d);
+  read_work_ = 0;
+  write_work_ = 0;
+}
+
+}  // namespace agile::storage

@@ -1,0 +1,69 @@
+#include "util/bitmap.hpp"
+
+#include <bit>
+
+namespace agile {
+
+void Bitmap::reset(std::size_t size, bool initial) {
+  size_ = size;
+  words_.assign((size + 63) / 64, initial ? ~0ULL : 0ULL);
+  if (initial && size % 64 != 0 && !words_.empty()) {
+    // Mask off bits past the end so count()/scans stay exact.
+    words_.back() &= (1ULL << (size % 64)) - 1;
+  }
+  count_ = initial ? size : 0;
+}
+
+void Bitmap::set_all() {
+  if (size_ == 0) return;
+  for (auto& w : words_) w = ~0ULL;
+  if (size_ % 64 != 0) words_.back() &= (1ULL << (size_ % 64)) - 1;
+  count_ = size_;
+}
+
+void Bitmap::clear_all() {
+  for (auto& w : words_) w = 0;
+  count_ = 0;
+}
+
+std::size_t Bitmap::find_next_set(std::size_t from) const {
+  if (from >= size_) return npos;
+  std::size_t word = from >> 6;
+  std::uint64_t w = words_[word] & (~0ULL << (from & 63));
+  while (true) {
+    if (w != 0) {
+      std::size_t i = (word << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return i < size_ ? i : npos;
+    }
+    if (++word >= words_.size()) return npos;
+    w = words_[word];
+  }
+}
+
+std::size_t Bitmap::find_next_clear(std::size_t from) const {
+  if (from >= size_) return npos;
+  std::size_t word = from >> 6;
+  std::uint64_t w = ~words_[word] & (~0ULL << (from & 63));
+  while (true) {
+    if (w != 0) {
+      std::size_t i = (word << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return i < size_ ? i : npos;
+    }
+    if (++word >= words_.size()) return npos;
+    w = ~words_[word];
+  }
+}
+
+void Bitmap::or_with(const Bitmap& other) {
+  AGILE_CHECK(other.size_ == size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  recount();
+}
+
+void Bitmap::recount() {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  count_ = c;
+}
+
+}  // namespace agile

@@ -1,0 +1,80 @@
+// Fixed-size dynamic bitmap with fast scanning.
+//
+// Used for the migration dirty bitmap, the destination's swapped bitmap, and
+// residency tracking. Supports O(words) population count and
+// find-first-set-at-or-after, which the pre-copy scan loop and the active-push
+// loop depend on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace agile {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t size, bool initial = false) { reset(size, initial); }
+
+  /// Re-initializes to `size` bits, all set to `initial`.
+  void reset(std::size_t size, bool initial = false);
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    AGILE_CHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    AGILE_CHECK(i < size_);
+    std::uint64_t& w = words_[i >> 6];
+    std::uint64_t bit = 1ULL << (i & 63);
+    if (!(w & bit)) {
+      w |= bit;
+      ++count_;
+    }
+  }
+
+  void clear(std::size_t i) {
+    AGILE_CHECK(i < size_);
+    std::uint64_t& w = words_[i >> 6];
+    std::uint64_t bit = 1ULL << (i & 63);
+    if (w & bit) {
+      w &= ~bit;
+      --count_;
+    }
+  }
+
+  void set_all();
+  void clear_all();
+
+  /// Number of set bits (maintained incrementally; O(1)).
+  std::size_t count() const { return count_; }
+
+  bool any() const { return count_ > 0; }
+  bool none() const { return count_ == 0; }
+
+  /// Index of the first set bit at or after `from`, or `npos` if none.
+  std::size_t find_next_set(std::size_t from) const;
+
+  /// Index of the first clear bit at or after `from`, or `npos` if none.
+  std::size_t find_next_clear(std::size_t from) const;
+
+  /// Bitwise OR with another bitmap of the same size.
+  void or_with(const Bitmap& other);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  void recount();
+
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace agile

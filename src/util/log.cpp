@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace agile::log {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::int64_t (*g_time_source)() = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(LogLevel level) { g_level = level; }
+LogLevel level() { return g_level; }
+void set_time_source(std::int64_t (*now_usec)()) { g_time_source = now_usec; }
+
+void write(LogLevel lvl, const char* fmt, ...) {
+  if (static_cast<int>(lvl) < static_cast<int>(g_level)) return;
+  if (g_time_source != nullptr) {
+    double t = static_cast<double>(g_time_source()) / 1e6;
+    std::fprintf(stderr, "[%10.3fs %-5s] ", t, level_name(lvl));
+  } else {
+    std::fprintf(stderr, "[%-5s] ", level_name(lvl));
+  }
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace agile::log

@@ -1,0 +1,32 @@
+// Minimal leveled logger.
+//
+// The simulator injects the current simulated time via a thread-local clock
+// hook so log lines carry virtual — not wall — time. Default level is WARN so
+// tests and benches stay quiet; examples turn on INFO.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace agile {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log {
+
+void set_level(LogLevel level);
+LogLevel level();
+
+/// Registers a function returning the current simulated time in microseconds;
+/// pass nullptr to go back to "no time" prefixes.
+void set_time_source(std::int64_t (*now_usec)());
+
+void write(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace log
+}  // namespace agile
+
+#define AGILE_LOG_DEBUG(...) ::agile::log::write(::agile::LogLevel::kDebug, __VA_ARGS__)
+#define AGILE_LOG_INFO(...) ::agile::log::write(::agile::LogLevel::kInfo, __VA_ARGS__)
+#define AGILE_LOG_WARN(...) ::agile::log::write(::agile::LogLevel::kWarn, __VA_ARGS__)
+#define AGILE_LOG_ERROR(...) ::agile::log::write(::agile::LogLevel::kError, __VA_ARGS__)

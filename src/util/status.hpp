@@ -1,0 +1,136 @@
+// Lightweight status / result types.
+//
+// The simulator is exception-free on its hot paths; fallible operations
+// return `Status` or `Result<T>`. Programming errors (broken invariants) are
+// caught with AGILE_CHECK, which aborts with a message — the simulator is a
+// research tool and fail-fast beats limping on with corrupt state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace agile {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name of a status code (stable, used in logs and tests).
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status out_of_range(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status resource_exhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status failed_precondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status internal_error(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// Value-or-status. `value()` aborts if called on an error result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    check_ok();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    check_ok();
+    return std::get<T>(v_);
+  }
+  T&& take() && {
+    check_ok();
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  void check_ok() const {
+    if (!is_ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(v_).to_string().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> v_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace agile
+
+/// Fail-fast invariant check; always on (simulation correctness > speed of a
+/// broken run).
+#define AGILE_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::agile::detail::check_failed(__FILE__, __LINE__, #expr, "");      \
+    }                                                                    \
+  } while (0)
+
+#define AGILE_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::agile::detail::check_failed(__FILE__, __LINE__, #expr, (msg));   \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,47 @@
+// Byte-size and time units used throughout the simulator.
+//
+// All simulated time is kept in microseconds as a signed 64-bit integer
+// (`SimTime`). All memory sizes are kept in bytes as unsigned 64-bit
+// (`Bytes`). Pages are fixed at 4 KiB, matching the x86 page size the paper's
+// KVM/QEMU implementation operates on.
+#pragma once
+
+#include <cstdint>
+
+namespace agile {
+
+using Bytes = std::uint64_t;
+using PageIndex = std::uint64_t;
+
+inline constexpr Bytes kPageSize = 4096;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes{v} << 10; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes{v} << 20; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes{v} << 30; }
+
+/// Number of whole pages needed to hold `bytes` (rounds up).
+inline constexpr std::uint64_t pages_for(Bytes bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kUsec = 1;
+inline constexpr SimTime kMsec = 1000;
+inline constexpr SimTime kSec = 1000 * 1000;
+
+inline constexpr SimTime usec(double v) { return static_cast<SimTime>(v); }
+inline constexpr SimTime msec(double v) { return static_cast<SimTime>(v * 1e3); }
+inline constexpr SimTime sec(double v) { return static_cast<SimTime>(v * 1e6); }
+
+/// Convert a SimTime to (floating) seconds, for reporting.
+inline constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// Convert bytes to (floating) mebibytes, for reporting.
+inline constexpr double to_mib(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
+
+/// Convert bytes to (floating) gibibytes, for reporting.
+inline constexpr double to_gib(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0 * 1024.0); }
+
+}  // namespace agile

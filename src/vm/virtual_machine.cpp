@@ -1,0 +1,37 @@
+#include "vm/virtual_machine.hpp"
+
+namespace agile::vm {
+
+VirtualMachine::VirtualMachine(VmConfig config,
+                               std::unique_ptr<mem::GuestMemory> memory,
+                               net::NodeId host_node)
+    : config_(std::move(config)),
+      memory_(std::move(memory)),
+      host_node_(host_node) {
+  AGILE_CHECK(memory_ != nullptr);
+  AGILE_CHECK(memory_->size_bytes() == config_.memory);
+  AGILE_CHECK(config_.vcpus > 0);
+}
+
+std::unique_ptr<mem::GuestMemory> VirtualMachine::swap_memory(
+    std::unique_ptr<mem::GuestMemory> replacement) {
+  AGILE_CHECK(replacement != nullptr);
+  AGILE_CHECK(replacement->size_bytes() == config_.memory);
+  std::swap(memory_, replacement);
+  return replacement;
+}
+
+SimTime VirtualMachine::access_page(PageIndex p, bool write, std::uint32_t tick) {
+  AGILE_CHECK_MSG(running_, "guest access while suspended");
+  if (memory_->state(p) == mem::PageState::kRemote) {
+    AGILE_CHECK_MSG(fault_handler_ != nullptr,
+                    "remote page accessed with no fault handler installed");
+    SimTime fault = fault_handler_(p, write, tick);
+    AGILE_CHECK_MSG(memory_->state(p) != mem::PageState::kRemote,
+                    "fault handler failed to install the page");
+    return fault + memory_->touch(p, write, tick);
+  }
+  return memory_->touch(p, write, tick);
+}
+
+}  // namespace agile::vm

@@ -1,0 +1,76 @@
+// Virtual machine model.
+//
+// A VM is the KVM/QEMU process of the paper: guest memory exported from the
+// process address space (GuestMemory), a vCPU count, an execution state
+// (running/suspended), and the host it currently executes on. During the
+// post-copy phase of a migration the VM's memory object is replaced by the
+// destination process's memory, and accesses to not-yet-present pages are
+// routed to the registered remote-fault handler (the UMEM driver + UMEMD
+// process in the paper's implementation).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mem/guest_memory.hpp"
+#include "workload/workload.hpp"
+
+namespace agile::vm {
+
+struct VmConfig {
+  std::string name = "vm";
+  Bytes memory = 1_GiB;
+  Bytes reservation = 1_GiB;
+  std::uint32_t vcpus = 2;
+};
+
+class VirtualMachine final : public workload::PageAccessor {
+ public:
+  /// Handler invoked for accesses to kRemote pages. It must install the page
+  /// (making it resident/swapped/untouched) and return the fault latency.
+  using RemoteFaultHandler =
+      std::function<SimTime(PageIndex p, bool write, std::uint32_t tick)>;
+
+  VirtualMachine(VmConfig config, std::unique_ptr<mem::GuestMemory> memory,
+                 net::NodeId host_node);
+
+  const std::string& name() const { return config_.name; }
+  const VmConfig& config() const { return config_; }
+
+  mem::GuestMemory& memory() { return *memory_; }
+  const mem::GuestMemory& memory() const { return *memory_; }
+
+  /// Replaces the backing memory (execution switched to the destination
+  /// process). Returns the old memory so the migration can keep serving
+  /// demand requests from it.
+  std::unique_ptr<mem::GuestMemory> swap_memory(
+      std::unique_ptr<mem::GuestMemory> replacement);
+
+  bool running() const { return running_; }
+  void suspend() { running_ = false; }
+  void resume() { running_ = true; }
+
+  void set_host_node(net::NodeId node) { host_node_ = node; }
+
+  void set_remote_fault_handler(RemoteFaultHandler handler) {
+    fault_handler_ = std::move(handler);
+  }
+  void clear_remote_fault_handler() { fault_handler_ = nullptr; }
+  bool has_remote_fault_handler() const { return fault_handler_ != nullptr; }
+
+  // --- PageAccessor ---------------------------------------------------------
+  SimTime access_page(PageIndex p, bool write, std::uint32_t tick) override;
+  net::NodeId host_node() const override { return host_node_; }
+  std::uint64_t page_count() const override { return memory_->page_count(); }
+  std::uint32_t vcpus() const override { return config_.vcpus; }
+
+ private:
+  VmConfig config_;
+  std::unique_ptr<mem::GuestMemory> memory_;
+  net::NodeId host_node_;
+  bool running_ = true;
+  RemoteFaultHandler fault_handler_;
+};
+
+}  // namespace agile::vm

@@ -1,0 +1,34 @@
+#include "vmd/vmd_swap_device.hpp"
+
+namespace agile::vmd {
+
+VmdSwapDevice::VmdSwapDevice(std::string name, VmdClient* client, Bytes capacity)
+    : name_(std::move(name)), client_(client), slots_(pages_for(capacity)) {
+  AGILE_CHECK(client_ != nullptr);
+  ns_ = client_->create_namespace(name_);
+}
+
+swap::SwapSlot VmdSwapDevice::allocate_slot() { return slots_.allocate(); }
+
+void VmdSwapDevice::free_slot(swap::SwapSlot slot) {
+  if (client_->has_page(ns_, slot)) client_->drop_page(ns_, slot);
+  slots_.release(slot);
+}
+
+SimTime VmdSwapDevice::read_page(swap::SwapSlot slot) {
+  ++stats_.reads;
+  ++stats_.window_reads;
+  stats_.bytes_read += kPageSize;
+  stats_.window_bytes_read += kPageSize;
+  return client_->read_page(ns_, slot);
+}
+
+void VmdSwapDevice::write_page(swap::SwapSlot slot) {
+  ++stats_.writes;
+  ++stats_.window_writes;
+  stats_.bytes_written += kPageSize;
+  stats_.window_bytes_written += kPageSize;
+  client_->write_page(ns_, slot);
+}
+
+}  // namespace agile::vmd

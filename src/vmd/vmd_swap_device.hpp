@@ -1,0 +1,51 @@
+// Per-VM swap device backed by a VMD namespace.
+//
+// This is the block-device face the VMD client exports for one VM
+// (/dev/blk<N> in the paper). Slots map 1:1 onto namespace page keys. The
+// device is *portable*: `attach_to` rebinds the underlying client to the host
+// the VM currently runs on, which is how the same device is first filled by
+// the source and later read by the destination after migration.
+#pragma once
+
+#include <string>
+
+#include "swap/swap_device.hpp"
+#include "vmd/vmd.hpp"
+
+namespace agile::vmd {
+
+class VmdSwapDevice final : public swap::SwapDevice {
+ public:
+  /// `capacity` bounds how many pages this VM may keep in the VMD (a
+  /// namespace quota, not a physical reservation — servers allocate on
+  /// write).
+  VmdSwapDevice(std::string name, VmdClient* client, Bytes capacity);
+
+  swap::SwapSlot allocate_slot() override;
+  void free_slot(swap::SwapSlot slot) override;
+  SimTime read_page(swap::SwapSlot slot) override;
+  void write_page(swap::SwapSlot slot) override;
+  std::uint64_t used_slots() const override { return slots_.used(); }
+  std::uint64_t capacity_slots() const override { return slots_.capacity(); }
+  const storage::DeviceStats& stats() const override { return stats_; }
+  storage::DeviceStats& mutable_stats() override { return stats_; }
+  const std::string& name() const override { return name_; }
+
+  /// Rebinds the device to the host now running the VM.
+  void attach_to(net::NodeId node) { client_->set_access_node(node); }
+
+  NamespaceId namespace_id() const { return ns_; }
+  VmdClient* client() const { return client_; }
+
+  /// Pages physically stored in the VMD for this namespace.
+  std::uint64_t stored_pages() const { return client_->namespace_pages(ns_); }
+
+ private:
+  std::string name_;
+  VmdClient* client_;
+  NamespaceId ns_;
+  swap::SlotAllocator slots_;
+  storage::DeviceStats stats_;
+};
+
+}  // namespace agile::vmd

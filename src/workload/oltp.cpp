@@ -1,0 +1,63 @@
+#include "workload/oltp.hpp"
+
+#include <algorithm>
+
+namespace agile::workload {
+
+OltpWorkload::OltpWorkload(PageAccessor* accessor, net::Network* network,
+                           net::NodeId client_node, OltpConfig config, Rng rng)
+    : accessor_(accessor),
+      network_(network),
+      client_node_(client_node),
+      config_(config),
+      rng_(rng),
+      base_page_(pages_for(config.guest_os_bytes)),
+      dataset_pages_(pages_for(config.dataset_bytes)),
+      zipf_(dataset_pages_, config.zipf_theta) {
+  AGILE_CHECK(accessor_ != nullptr && network_ != nullptr);
+  AGILE_CHECK(config_.concurrency > 0);
+  AGILE_CHECK_MSG(base_page_ + dataset_pages_ <= accessor_->page_count(),
+                  "dataset does not fit in guest memory");
+}
+
+void OltpWorkload::load(std::uint32_t tick) {
+  for (PageIndex p = 0; p < base_page_ + dataset_pages_; ++p) {
+    accessor_->access_page(p, /*write=*/true, tick);
+  }
+}
+
+std::uint64_t OltpWorkload::run_quantum(SimTime dt, std::uint32_t tick) {
+  std::uint32_t width = std::min(config_.concurrency, 2 * accessor_->vcpus());
+  double budget = static_cast<double>(dt) * width;
+  SimTime net_lat =
+      network_->rpc_latency(client_node_, accessor_->host_node(), config_.response_bytes);
+  double spent = 0;
+  std::uint64_t txns = 0;
+  Bytes tx_to_vm = 0, rx_from_vm = 0;
+  while (spent < budget) {
+    bool rw_txn = rng_.next_bool(config_.write_txn_fraction);
+    SimTime faults = 0;
+    for (std::uint32_t i = 0; i < config_.reads_per_txn; ++i) {
+      PageIndex p = base_page_ + zipf_.sample(rng_);
+      faults += accessor_->access_page(p, /*write=*/false, tick);
+    }
+    if (rw_txn) {
+      for (std::uint32_t i = 0; i < config_.writes_per_txn; ++i) {
+        PageIndex p = base_page_ + zipf_.sample(rng_);
+        faults += accessor_->access_page(p, /*write=*/true, tick);
+      }
+    }
+    spent += static_cast<double>(config_.base_txn_time + net_lat + faults);
+    ++txns;
+    tx_to_vm += config_.request_bytes;
+    rx_from_vm += config_.response_bytes;
+  }
+  if (tx_to_vm > 0) {
+    network_->consume_background(client_node_, accessor_->host_node(), tx_to_vm);
+    network_->consume_background(accessor_->host_node(), client_node_, rx_from_vm);
+  }
+  txns_total_ += txns;
+  return txns;
+}
+
+}  // namespace agile::workload

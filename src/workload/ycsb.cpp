@@ -1,0 +1,81 @@
+#include "workload/ycsb.hpp"
+
+#include <algorithm>
+
+namespace agile::workload {
+
+YcsbWorkload::YcsbWorkload(PageAccessor* accessor, net::Network* network,
+                           net::NodeId client_node, YcsbConfig config, Rng rng)
+    : accessor_(accessor),
+      network_(network),
+      client_node_(client_node),
+      config_(config),
+      rng_(rng) {
+  AGILE_CHECK(accessor_ != nullptr && network_ != nullptr);
+  AGILE_CHECK(config_.concurrency > 0);
+  AGILE_CHECK(config_.base_op_time > 0);
+  base_page_ = pages_for(config_.guest_os_bytes);
+  dataset_pages_ = pages_for(config_.dataset_bytes);
+  AGILE_CHECK_MSG(base_page_ + dataset_pages_ <= accessor_->page_count(),
+                  "dataset does not fit in guest memory");
+  active_pages_ = std::min(pages_for(config_.active_bytes), dataset_pages_);
+  AGILE_CHECK(active_pages_ > 0);
+}
+
+void YcsbWorkload::set_active_bytes(Bytes bytes) {
+  active_pages_ = std::clamp<std::uint64_t>(pages_for(bytes), 1, dataset_pages_);
+  if (zipf_ && zipf_->n() != active_pages_) {
+    zipf_.emplace(active_pages_, config_.zipf_theta);
+  }
+}
+
+PageIndex YcsbWorkload::pick_page() {
+  if (config_.zipf_theta > 0.0) {
+    if (!zipf_ || zipf_->n() != active_pages_) {
+      zipf_.emplace(active_pages_, config_.zipf_theta);
+    }
+    return base_page_ + zipf_->sample(rng_);
+  }
+  return base_page_ + rng_.next_below(active_pages_);
+}
+
+void YcsbWorkload::load(std::uint32_t tick) {
+  // Bulk-load the store: the guest OS pages plus every dataset page are
+  // written once (this is what pushes the cold tail out to swap when the
+  // reservation is smaller than the dataset).
+  for (PageIndex p = 0; p < base_page_ + dataset_pages_; ++p) {
+    accessor_->access_page(p, /*write=*/true, tick);
+  }
+}
+
+std::uint64_t YcsbWorkload::run_quantum(SimTime dt, std::uint32_t tick) {
+  // Effective parallelism: client threads, capped by guest vCPUs for the
+  // server-side portion. Page faults serialize on the guest side, so we
+  // model the whole op pipeline at this effective width.
+  std::uint32_t width = std::min(config_.concurrency, 4 * accessor_->vcpus());
+  double budget = static_cast<double>(dt) * width;
+  // One congestion estimate per quantum; the network state only changes at
+  // quantum boundaries anyway.
+  SimTime net_lat =
+      network_->rpc_latency(client_node_, accessor_->host_node(), config_.response_bytes);
+  double spent = 0;
+  std::uint64_t ops = 0;
+  Bytes tx_to_vm = 0, rx_from_vm = 0;
+  while (spent < budget) {
+    bool write = !rng_.next_bool(config_.read_fraction);
+    PageIndex p = pick_page();
+    SimTime fault = accessor_->access_page(p, write, tick);
+    spent += static_cast<double>(config_.base_op_time + net_lat + fault);
+    ++ops;
+    tx_to_vm += config_.request_bytes;
+    rx_from_vm += config_.response_bytes;
+  }
+  if (tx_to_vm > 0) {
+    network_->consume_background(client_node_, accessor_->host_node(), tx_to_vm);
+    network_->consume_background(accessor_->host_node(), client_node_, rx_from_vm);
+  }
+  ops_total_ += ops;
+  return ops;
+}
+
+}  // namespace agile::workload

@@ -1,0 +1,112 @@
+#include "wss/reservation_controller.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace agile::wss {
+
+ReservationController::ReservationController(host::Cluster* cluster,
+                                             vm::VirtualMachine* machine,
+                                             WssConfig config)
+    : cluster_(cluster), machine_(machine), config_(config) {
+  AGILE_CHECK(cluster_ != nullptr && machine_ != nullptr);
+  AGILE_CHECK(config_.alpha > 0 && config_.alpha < 1);
+  AGILE_CHECK(config_.beta > 1);
+  AGILE_CHECK(config_.stability_window >= 2);
+  if (config_.stability_ratio == 0) {
+    // Around the working set the estimate swings by roughly one grow and one
+    // shrink step; admit that amplitude with a small margin.
+    config_.stability_ratio = std::max(1.2, (config_.beta / config_.alpha) * 1.15);
+  }
+  AGILE_CHECK(config_.stability_ratio > 1.0);
+  if (config_.max_reservation == 0) {
+    config_.max_reservation = machine_->config().memory;
+  }
+}
+
+ReservationController::~ReservationController() { stop(); }
+
+void ReservationController::start() {
+  AGILE_CHECK_MSG(task_ == nullptr, "controller already running");
+  last_time_ = cluster_->simulation().now();
+  // Zero the iostat window so the first interval measures only its own span.
+  machine_->memory().swap_device()->mutable_stats().reset_window();
+  task_ = cluster_->simulation().schedule_periodic(
+      config_.fast_interval, [this](SimTime now) { on_interval(now); });
+}
+
+void ReservationController::stop() {
+  if (task_ != nullptr) {
+    task_->cancel();
+    task_.reset();
+  }
+}
+
+void ReservationController::on_interval(SimTime now) {
+  storage::DeviceStats& stats = machine_->memory().swap_device()->mutable_stats();
+  double span = to_seconds(now - last_time_);
+  last_time_ = now;
+  if (span <= 0) return;
+  // S is the swap-IN rate: reads mean the guest is re-faulting pages it
+  // needs (reservation too small). Write-backs are excluded — they are the
+  // controller's own reclaim of cold pages and would otherwise read as
+  // pressure, locking the estimate at the resident set instead of the
+  // working set.
+  double rate = static_cast<double>(stats.window_bytes_read) / span;
+  stats.reset_window();
+
+  Bytes reservation = machine_->memory().reservation();
+  bool grow = rate > config_.tau_bytes_per_sec;
+  if (grow) {
+    reservation = static_cast<Bytes>(static_cast<double>(reservation) * config_.beta);
+  } else {
+    reservation = static_cast<Bytes>(static_cast<double>(reservation) * config_.alpha);
+  }
+  Bytes clamped = std::clamp(reservation, config_.min_reservation,
+                             config_.max_reservation);
+  machine_->memory().set_reservation(clamped);
+  ++adjustments_;
+
+  // Cadence control: a trending estimate keeps the 2 s cadence; once it
+  // merely oscillates around the working set we relax to 30 s. A value
+  // pinned at a clamp while still pushing outward is *hungry*, not stable —
+  // flatness there must not count as convergence.
+  bool pinned = (grow && clamped < reservation) || (!grow && clamped > reservation);
+  if (pinned && !stable_) recent_.clear();
+  reservation = clamped;
+  recent_.push_back(reservation);
+  if (recent_.size() > config_.stability_window) {
+    recent_.erase(recent_.begin());
+  }
+  if (!stable_ && recent_.size() == config_.stability_window) {
+    Bytes lo = *std::min_element(recent_.begin(), recent_.end());
+    Bytes hi = *std::max_element(recent_.begin(), recent_.end());
+    if (static_cast<double>(hi) <=
+        static_cast<double>(lo) * config_.stability_ratio) {
+      stable_ = true;
+      task_->set_period(config_.slow_interval);
+      AGILE_LOG_INFO("wss %s: stable at %.0f MiB, relaxing to %.0f s cadence",
+                     machine_->name().c_str(), to_mib(reservation),
+                     to_seconds(config_.slow_interval));
+    }
+  }
+  if (rate > config_.pressure_factor * config_.tau_bytes_per_sec) {
+    ++high_streak_;
+  } else {
+    high_streak_ = 0;
+  }
+  if (stable_ && high_streak_ >= config_.pressure_streak) {
+    stable_ = false;
+    recent_.clear();
+    high_streak_ = 0;
+    task_->set_period(config_.fast_interval);
+    AGILE_LOG_INFO("wss %s: sustained pressure, back to fast cadence",
+                   machine_->name().c_str());
+  }
+
+  series_.add(to_seconds(now), static_cast<double>(reservation));
+  rate_series_.add(to_seconds(now), rate);
+}
+
+}  // namespace agile::wss

@@ -1,0 +1,88 @@
+// Transparent working-set tracking (paper §IV-D).
+//
+// The hypervisor cannot see guest access bits cheaply, so the tool infers
+// working-set fit from *swap activity on the per-VM swap device* (iostat):
+// if the swap rate S exceeds a threshold τ the reservation is too small —
+// grow it by β > 1; if S is at or below τ the VM may be over-provisioned —
+// shrink by α < 1 (we measure S as the swap-IN rate: reclaim write-back is
+// the controller's own doing and must not read as pressure). Adjustments run
+// every 2 s until the estimate stabilizes
+// (the controller starts oscillating around the working set instead of
+// trending), then relax to every 30 s; sustained pressure snaps back to the
+// fast cadence.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "host/cluster.hpp"
+#include "metrics/timeseries.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace agile::wss {
+
+struct WssConfig {
+  double alpha = 0.95;                ///< Shrink factor (< 1).
+  double beta = 1.03;                 ///< Grow factor (> 1).
+  double tau_bytes_per_sec = 4096;    ///< τ: swap-in-rate threshold (4 KB/s).
+  SimTime fast_interval = sec(2);
+  SimTime slow_interval = sec(30);
+  /// Stability detection: the estimate is "stable" once the reservation's
+  /// max/min ratio over the last `stability_window` adjustments falls below
+  /// `stability_ratio` (it oscillates around the working set instead of
+  /// trending toward it). 0 auto-derives the ratio from α and β so the
+  /// controller's own oscillation amplitude always fits the window.
+  std::uint32_t stability_window = 8;
+  double stability_ratio = 0;
+  double pressure_factor = 16.0;      ///< "High" swap rate: S > factor·τ.
+  /// Consecutive high intervals (in slow mode) before snapping back to the
+  /// fast cadence. One burst is just the α-shrink overshooting and re-faulting
+  /// its own margin; sustained bursts mean the working set actually grew.
+  std::uint32_t pressure_streak = 2;
+  Bytes min_reservation = 64_MiB;
+  Bytes max_reservation = 0;          ///< 0: the VM's memory size.
+};
+
+class ReservationController {
+ public:
+  ReservationController(host::Cluster* cluster, vm::VirtualMachine* machine,
+                        WssConfig config = {});
+  ~ReservationController();
+
+  ReservationController(const ReservationController&) = delete;
+  ReservationController& operator=(const ReservationController&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return task_ != nullptr; }
+
+  /// Current working-set estimate == the reservation the controller set.
+  Bytes wss_estimate() const { return machine_->memory().reservation(); }
+
+  /// True once the controller has relaxed to the slow cadence.
+  bool stable() const { return stable_; }
+
+  std::uint64_t adjustments() const { return adjustments_; }
+
+  /// Reservation over time (simulated seconds) — Figure 9's main series.
+  const metrics::TimeSeries& reservation_series() const { return series_; }
+  /// Observed swap rate (bytes/s) at each adjustment.
+  const metrics::TimeSeries& swap_rate_series() const { return rate_series_; }
+
+ private:
+  void on_interval(SimTime now);
+
+  host::Cluster* cluster_;
+  vm::VirtualMachine* machine_;
+  WssConfig config_;
+  std::shared_ptr<sim::PeriodicTask> task_;
+  SimTime last_time_ = 0;
+  bool stable_ = false;
+  std::vector<Bytes> recent_;  ///< Ring of the last `stability_window` values.
+  std::uint32_t high_streak_ = 0;
+  std::uint64_t adjustments_ = 0;
+  metrics::TimeSeries series_{"reservation_bytes"};
+  metrics::TimeSeries rate_series_{"swap_rate_bps"};
+};
+
+}  // namespace agile::wss

@@ -1,0 +1,40 @@
+#include "wss/watermark_trigger.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace agile::wss {
+
+TriggerDecision evaluate_watermarks(Bytes host_ram, Bytes host_os_bytes,
+                                    const std::vector<VmPressure>& vms,
+                                    const WatermarkConfig& config) {
+  AGILE_CHECK(config.low > 0 && config.low <= config.high && config.high <= 1.0);
+  TriggerDecision decision;
+  Bytes aggregate = host_os_bytes;
+  for (const VmPressure& v : vms) aggregate += v.wss;
+  decision.aggregate_wss = aggregate;
+  decision.aggregate_after = aggregate;
+
+  const auto high = static_cast<Bytes>(config.high * static_cast<double>(host_ram));
+  const auto low = static_cast<Bytes>(config.low * static_cast<double>(host_ram));
+  if (aggregate <= high) return decision;
+  decision.pressure = true;
+
+  // Fewest VMs: evict the largest working sets first until we're under the
+  // low watermark (ties broken by input order for determinism).
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return vms[a].wss > vms[b].wss;
+  });
+  Bytes remaining = aggregate;
+  for (std::size_t idx : order) {
+    if (remaining <= low) break;
+    decision.victims.push_back(idx);
+    remaining -= vms[idx].wss;
+  }
+  decision.aggregate_after = remaining;
+  return decision;
+}
+
+}  // namespace agile::wss

@@ -1,0 +1,43 @@
+// Migration trigger and VM selection (paper §III-B).
+//
+// Memory pressure is declared when the aggregate working-set estimate of a
+// host's VMs (plus the host OS) crosses a *high watermark* fraction of its
+// RAM. The selector then picks the fewest VMs whose departure brings the
+// aggregate under the *low watermark*, so no further migration is needed
+// until the high watermark is crossed again. Greedy-largest-first over WSS
+// yields the minimum count (all weights positive and we only need the count
+// minimized, not the moved bytes).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace agile::wss {
+
+struct WatermarkConfig {
+  double high = 0.90;  ///< Fraction of host RAM.
+  double low = 0.75;
+};
+
+struct VmPressure {
+  std::string name;
+  Bytes wss = 0;
+};
+
+struct TriggerDecision {
+  bool pressure = false;                 ///< High watermark crossed.
+  std::vector<std::size_t> victims;      ///< Indices into the input entries.
+  Bytes aggregate_wss = 0;
+  Bytes aggregate_after = 0;             ///< After the victims leave.
+};
+
+/// Pure decision logic (unit-testable without a cluster).
+TriggerDecision evaluate_watermarks(Bytes host_ram, Bytes host_os_bytes,
+                                    const std::vector<VmPressure>& vms,
+                                    const WatermarkConfig& config);
+
+}  // namespace agile::wss

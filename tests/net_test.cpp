@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace agile::net {
+namespace {
+
+NetworkConfig gbit() {
+  NetworkConfig cfg;
+  cfg.link_bits_per_sec = 1e9;
+  cfg.protocol_efficiency = 1.0;  // exact math in tests
+  cfg.base_rtt = 200;
+  return cfg;
+}
+
+TEST(Network, NodeBookkeeping) {
+  Network net(gbit());
+  NodeId a = net.add_node("src");
+  NodeId b = net.add_node("dst");
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.node_name(a), "src");
+  EXPECT_EQ(net.node_name(b), "dst");
+  EXPECT_DOUBLE_EQ(net.link_bytes_per_sec(), 1e9 / 8.0);
+}
+
+TEST(Network, SingleFlowGetsFullLineRate) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  Bytes delivered = 0;
+  FlowId f = net.open_flow(a, b, [&](Bytes n) { delivered += n; });
+  net.offer(f, 1_GiB);
+  net.advance(sec(1));
+  // 1 Gbps = 125e6 bytes/sec.
+  EXPECT_NEAR(static_cast<double>(delivered), 125e6, 1e3);
+  EXPECT_EQ(net.backlog(f), 1_GiB - delivered);
+}
+
+TEST(Network, BacklogSmallerThanCapacityFullyDrains) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  Bytes delivered = 0;
+  FlowId f = net.open_flow(a, b, [&](Bytes n) { delivered += n; });
+  net.offer(f, 1_MiB);
+  net.advance(msec(100));
+  EXPECT_EQ(delivered, 1_MiB);
+  EXPECT_EQ(net.backlog(f), 0u);
+}
+
+TEST(Network, TwoFlowsOnSameLinkSplitFairly) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  Bytes d1 = 0, d2 = 0;
+  FlowId f1 = net.open_flow(a, b, [&](Bytes n) { d1 += n; });
+  FlowId f2 = net.open_flow(a, b, [&](Bytes n) { d2 += n; });
+  net.offer(f1, 1_GiB);
+  net.offer(f2, 1_GiB);
+  net.advance(sec(1));
+  EXPECT_NEAR(static_cast<double>(d1), 62.5e6, 1e3);
+  EXPECT_NEAR(static_cast<double>(d2), 62.5e6, 1e3);
+}
+
+TEST(Network, MaxMinGivesBottleneckedFlowItsShareElsewhere) {
+  // Flows a->c and b->c contend at c's ingress; flow a->d should then pick up
+  // the slack on a's egress.
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  NodeId c = net.add_node("c"), d = net.add_node("d");
+  Bytes dac = 0, dbc = 0, dad = 0;
+  FlowId fac = net.open_flow(a, c, [&](Bytes n) { dac += n; });
+  FlowId fbc = net.open_flow(b, c, [&](Bytes n) { dbc += n; });
+  FlowId fad = net.open_flow(a, d, [&](Bytes n) { dad += n; });
+  net.offer(fac, 1_GiB);
+  net.offer(fbc, 1_GiB);
+  net.offer(fad, 1_GiB);
+  net.advance(sec(1));
+  // c ingress 125e6 split between fac and fbc; a egress 125e6 split between
+  // fac (62.5e6) and fad (rest).
+  EXPECT_NEAR(static_cast<double>(dac), 62.5e6, 2e3);
+  EXPECT_NEAR(static_cast<double>(dbc), 62.5e6, 2e3);
+  EXPECT_NEAR(static_cast<double>(dad), 62.5e6, 2e3);
+}
+
+TEST(Network, ShortFlowFinishesAndLongFlowTakesRemainder) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  Bytes d1 = 0, d2 = 0;
+  FlowId f1 = net.open_flow(a, b, [&](Bytes n) { d1 += n; });
+  FlowId f2 = net.open_flow(a, b, [&](Bytes n) { d2 += n; });
+  net.offer(f1, 10_MiB);  // finishes well within the quantum's fair share
+  net.offer(f2, 1_GiB);
+  net.advance(sec(1));
+  EXPECT_EQ(d1, 10_MiB);
+  EXPECT_NEAR(static_cast<double>(d2), 125e6 - 10.0 * 1024 * 1024, 2e3);
+}
+
+TEST(Network, BackgroundTrafficReducesFlowCapacity) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  Bytes delivered = 0;
+  FlowId f = net.open_flow(a, b, [&](Bytes n) { delivered += n; });
+  net.offer(f, 1_GiB);
+  net.consume_background(a, b, 25'000'000);  // 25 MB of RPC traffic
+  net.advance(sec(1));
+  EXPECT_NEAR(static_cast<double>(delivered), 100e6, 1e3);
+}
+
+TEST(Network, UtilizationReflectsFlowAndBackground) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  FlowId f = net.open_flow(a, b, [](Bytes) {});
+  net.offer(f, 1_GiB);
+  net.advance(sec(1));
+  EXPECT_NEAR(net.tx_utilization(a), 1.0, 1e-6);
+  EXPECT_NEAR(net.rx_utilization(b), 1.0, 1e-6);
+  EXPECT_NEAR(net.tx_utilization(b), 0.0, 1e-6);
+  net.close_flow(f);
+  net.advance(sec(1));
+  EXPECT_NEAR(net.tx_utilization(a), 0.0, 1e-6);
+}
+
+TEST(Network, RpcLatencyGrowsWithCongestion) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  SimTime idle = net.rpc_latency(b, a, kPageSize);
+  FlowId f = net.open_flow(a, b, [](Bytes) {});
+  net.offer(f, 10_GiB);
+  net.advance(sec(1));  // saturate a->b
+  SimTime busy = net.rpc_latency(b, a, kPageSize);
+  EXPECT_GT(busy, 5 * idle);
+  EXPECT_GE(idle, 200);  // at least the base RTT
+}
+
+TEST(Network, RpcLatencyIncludesTransferTime) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  SimTime small = net.rpc_latency(a, b, 64);
+  SimTime large = net.rpc_latency(a, b, 1_MiB);
+  // 1 MiB at 125 MB/s is ~8.4 ms.
+  EXPECT_GT(large, small + msec(7));
+}
+
+TEST(Network, StatsAccumulate) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  FlowId f = net.open_flow(a, b, [](Bytes) {});
+  net.offer(f, 1_MiB);
+  net.consume_background(b, a, 500);
+  net.advance(sec(1));
+  EXPECT_EQ(net.stats(a).tx_bytes, 1_MiB);
+  EXPECT_EQ(net.stats(a).rx_bytes, 500u);
+  EXPECT_EQ(net.stats(b).rx_bytes, 1_MiB);
+  EXPECT_EQ(net.stats(b).tx_bytes, 500u);
+}
+
+TEST(Network, CloseFlowDropsBacklog) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  Bytes delivered = 0;
+  FlowId f = net.open_flow(a, b, [&](Bytes n) { delivered += n; });
+  net.offer(f, 1_MiB);
+  net.close_flow(f);
+  EXPECT_EQ(net.open_flow_count(), 0u);
+  net.advance(sec(1));
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(Network, DeliveryCallbackMayOpenFlows) {
+  Network net(gbit());
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  bool opened = false;
+  FlowId f = net.open_flow(a, b, [&](Bytes) {
+    if (!opened) {
+      opened = true;
+      FlowId g = net.open_flow(b, a, [](Bytes) {});
+      net.offer(g, 1_KiB);
+    }
+  });
+  net.offer(f, 1_KiB);
+  net.advance(msec(10));
+  EXPECT_TRUE(opened);
+  EXPECT_EQ(net.open_flow_count(), 2u);
+}
+
+TEST(Network, ProtocolEfficiencyShavesGoodput) {
+  NetworkConfig cfg = gbit();
+  cfg.protocol_efficiency = 0.94;
+  Network net(cfg);
+  NodeId a = net.add_node("a"), b = net.add_node("b");
+  Bytes delivered = 0;
+  FlowId f = net.open_flow(a, b, [&](Bytes n) { delivered += n; });
+  net.offer(f, 1_GiB);
+  net.advance(sec(1));
+  EXPECT_NEAR(static_cast<double>(delivered), 125e6 * 0.94, 1e4);
+}
+
+}  // namespace
+}  // namespace agile::net

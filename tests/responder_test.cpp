@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/pressure_responder.hpp"
+#include "workload/ycsb.hpp"
+
+namespace agile::core {
+namespace {
+
+struct ResponderBed {
+  TestbedConfig cfg;
+  std::unique_ptr<Testbed> bed;
+  std::vector<VmHandle*> handles;
+  std::vector<workload::YcsbWorkload*> ycsbs;
+
+  explicit ResponderBed(int vm_count, Bytes host_ram = 2_GiB) {
+    cfg.source.ram = host_ram;
+    cfg.source.host_os_bytes = 64_MiB;
+    cfg.dest = cfg.source;
+    cfg.dest.name = "dest";
+    cfg.vmd_server_capacity = 8_GiB;
+    bed = std::make_unique<Testbed>(cfg);
+    for (int i = 0; i < vm_count; ++i) {
+      VmSpec spec;
+      spec.name = "vm" + std::to_string(i);
+      spec.memory = 1_GiB;
+      spec.reservation = 512_MiB;
+      spec.swap = SwapBinding::kPerVmDevice;
+      VmHandle& h = bed->create_vm(spec);
+      handles.push_back(&h);
+      workload::YcsbConfig ycfg;
+      ycfg.dataset_bytes = 768_MiB;
+      ycfg.guest_os_bytes = 32_MiB;
+      ycfg.active_bytes = 128_MiB;
+      auto load = std::make_unique<workload::YcsbWorkload>(
+          h.machine, &bed->cluster().network(), bed->client_node(), ycfg,
+          bed->make_rng(spec.name + "/y"));
+      ycsbs.push_back(load.get());
+      bed->attach_workload(h, std::move(load));
+      ycsbs.back()->load(0);
+    }
+    bed->source()->ssd()->advance(sec(3600));
+  }
+
+  wss::WssConfig brisk() {
+    wss::WssConfig w;
+    w.alpha = 0.80;
+    w.beta = 1.15;
+    return w;
+  }
+};
+
+TEST(PressureResponder, NoPressureNoMigration) {
+  ResponderBed rb(2, 4_GiB);  // plenty of headroom
+  PressureResponderConfig cfg;
+  cfg.wss = rb.brisk();
+  PressureResponder responder(rb.bed.get(), cfg);
+  for (VmHandle* h : rb.handles) responder.track(h);
+  responder.start();
+  rb.bed->cluster().run_for_seconds(120);
+  EXPECT_EQ(responder.migrations_launched(), 0u);
+  EXPECT_FALSE(responder.last_decision().pressure);
+  EXPECT_EQ(rb.bed->dest()->vm_count(), 0u);
+}
+
+TEST(PressureResponder, MigratesWhenAWorkingSetGrows) {
+  ResponderBed rb(2, 1_GiB);
+  PressureResponderConfig cfg;
+  cfg.wss = rb.brisk();
+  PressureResponder responder(rb.bed.get(), cfg);
+  for (VmHandle* h : rb.handles) responder.track(h);
+  responder.start();
+  rb.bed->cluster().run_for_seconds(90);
+  ASSERT_EQ(responder.migrations_launched(), 0u);
+  // vm1's working set explodes; the aggregate crosses the high watermark and
+  // vm1 (by far the largest estimate) must be the one evicted.
+  rb.ycsbs[1]->set_active_bytes(768_MiB);
+  rb.bed->cluster().run_for_seconds(250);
+  ASSERT_GE(responder.migrations_launched(), 1u);
+  // The grown VM (the largest WSS) is the victim, and it actually moved.
+  EXPECT_TRUE(rb.bed->dest()->has_vm(rb.handles[1]->machine));
+  EXPECT_TRUE(rb.bed->source()->has_vm(rb.handles[0]->machine));
+  EXPECT_TRUE(responder.migrations()[0]->completed());
+}
+
+TEST(PressureResponder, OneMigrationAtATime) {
+  ResponderBed rb(3, 2_GiB);
+  PressureResponderConfig cfg;
+  cfg.wss = rb.brisk();
+  cfg.check_interval = sec(5);
+  PressureResponder responder(rb.bed.get(), cfg);
+  for (VmHandle* h : rb.handles) responder.track(h);
+  responder.start();
+  rb.bed->cluster().run_for_seconds(60);
+  // Everyone grows at once; the responder must serialize migrations.
+  for (auto* y : rb.ycsbs) y->set_active_bytes(768_MiB);
+  bool overlapped = false;
+  for (int i = 0; i < 300; ++i) {
+    rb.bed->cluster().run_for_seconds(1);
+    std::size_t in_flight = 0;
+    for (const auto& m : responder.migrations()) in_flight += !m->completed();
+    if (in_flight > 1) overlapped = true;
+  }
+  EXPECT_FALSE(overlapped);
+  EXPECT_GE(responder.migrations_launched(), 1u);
+}
+
+TEST(PressureResponder, TracksEstimatesPerVm) {
+  ResponderBed rb(2, 4_GiB);
+  PressureResponderConfig cfg;
+  cfg.wss = rb.brisk();
+  PressureResponder responder(rb.bed.get(), cfg);
+  for (VmHandle* h : rb.handles) responder.track(h);
+  EXPECT_EQ(responder.tracked_count(), 2u);
+  responder.start();
+  rb.ycsbs[0]->set_active_bytes(640_MiB);
+  rb.bed->cluster().run_for_seconds(180);
+  EXPECT_GT(responder.wss_estimate(rb.handles[0]),
+            responder.wss_estimate(rb.handles[1]));
+}
+
+TEST(PressureResponder, StopHaltsMonitoring) {
+  ResponderBed rb(2, 2_GiB);
+  PressureResponderConfig cfg;
+  cfg.wss = rb.brisk();
+  PressureResponder responder(rb.bed.get(), cfg);
+  for (VmHandle* h : rb.handles) responder.track(h);
+  responder.start();
+  rb.bed->cluster().run_for_seconds(50);
+  responder.stop();
+  for (auto* y : rb.ycsbs) y->set_active_bytes(768_MiB);
+  rb.bed->cluster().run_for_seconds(120);
+  EXPECT_EQ(responder.migrations_launched(), 0u);
+}
+
+}  // namespace
+}  // namespace agile::core

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/bitmap.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace agile {
+namespace {
+
+// --- units -------------------------------------------------------------
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(10_GiB, 10ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, PagesForRoundsUp) {
+  EXPECT_EQ(pages_for(0), 0u);
+  EXPECT_EQ(pages_for(1), 1u);
+  EXPECT_EQ(pages_for(kPageSize), 1u);
+  EXPECT_EQ(pages_for(kPageSize + 1), 2u);
+  EXPECT_EQ(pages_for(1_GiB), 262144u);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_EQ(sec(1.5), 1'500'000);
+  EXPECT_EQ(msec(2), 2000);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_mib(5_MiB), 5.0);
+  EXPECT_DOUBLE_EQ(to_gib(3_GiB), 3.0);
+}
+
+// --- status ------------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = not_found("page 42");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: page 42");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(status_code_name(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(invalid_argument("bad"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeedAndTag) {
+  Rng a(42, "x"), b(42, "x");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentTagsDecorrelate) {
+  Rng a(42, "x"), b(42, "y");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInBounds) {
+  Rng rng(1, "bounds");
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(2, "cover");
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3, "d");
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(4, "b");
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5, "e");
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.next_exponential(3.0);
+  EXPECT_NEAR(sum / 20000.0, 3.0, 0.15);
+}
+
+TEST(Zipf, SkewsTowardLowIndices) {
+  Rng rng(6, "z");
+  ZipfSampler zipf(1000, 0.99);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 should dominate rank 100 heavily under theta=0.99.
+  EXPECT_GT(counts[0], 20 * std::max(1, counts[100]));
+  for (auto& [k, v] : counts) EXPECT_LT(k, 1000u);
+}
+
+TEST(Zipf, LargeDomainStaysInBounds) {
+  Rng rng(7, "zl");
+  ZipfSampler zipf(2'500'000, 0.99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 2'500'000u);
+}
+
+// --- bitmap ------------------------------------------------------------
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap bm(100);
+  EXPECT_EQ(bm.size(), 100u);
+  EXPECT_EQ(bm.count(), 0u);
+  EXPECT_TRUE(bm.none());
+}
+
+TEST(Bitmap, SetClearCount) {
+  Bitmap bm(130);
+  bm.set(0);
+  bm.set(64);
+  bm.set(129);
+  EXPECT_EQ(bm.count(), 3u);
+  bm.set(64);  // idempotent
+  EXPECT_EQ(bm.count(), 3u);
+  bm.clear(64);
+  EXPECT_EQ(bm.count(), 2u);
+  bm.clear(64);  // idempotent
+  EXPECT_EQ(bm.count(), 2u);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_FALSE(bm.test(64));
+  EXPECT_TRUE(bm.test(129));
+}
+
+TEST(Bitmap, InitialAllSetMasksTail) {
+  Bitmap bm(70, true);
+  EXPECT_EQ(bm.count(), 70u);
+  EXPECT_EQ(bm.find_next_clear(0), Bitmap::npos);
+}
+
+TEST(Bitmap, FindNextSet) {
+  Bitmap bm(200);
+  bm.set(3);
+  bm.set(64);
+  bm.set(199);
+  EXPECT_EQ(bm.find_next_set(0), 3u);
+  EXPECT_EQ(bm.find_next_set(3), 3u);
+  EXPECT_EQ(bm.find_next_set(4), 64u);
+  EXPECT_EQ(bm.find_next_set(65), 199u);
+  EXPECT_EQ(bm.find_next_set(200), Bitmap::npos);
+}
+
+TEST(Bitmap, FindNextClear) {
+  Bitmap bm(130, true);
+  bm.clear(5);
+  bm.clear(128);
+  EXPECT_EQ(bm.find_next_clear(0), 5u);
+  EXPECT_EQ(bm.find_next_clear(6), 128u);
+  EXPECT_EQ(bm.find_next_clear(129), Bitmap::npos);
+}
+
+TEST(Bitmap, SetAllClearAll) {
+  Bitmap bm(100);
+  bm.set_all();
+  EXPECT_EQ(bm.count(), 100u);
+  bm.clear_all();
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(Bitmap, OrWith) {
+  Bitmap a(128), b(128);
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(2);
+  a.or_with(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(100));
+}
+
+TEST(Bitmap, ResetResizes) {
+  Bitmap bm(10);
+  bm.set(9);
+  bm.reset(1000);
+  EXPECT_EQ(bm.size(), 1000u);
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(Bitmap, EmptyBitmapScans) {
+  Bitmap bm;
+  EXPECT_EQ(bm.find_next_set(0), Bitmap::npos);
+  EXPECT_EQ(bm.find_next_clear(0), Bitmap::npos);
+}
+
+}  // namespace
+}  // namespace agile

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/guest_memory.hpp"
+#include "swap/swap_device.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace agile::vm {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<storage::SsdModel> ssd = std::make_shared<storage::SsdModel>();
+  swap::LocalSwapDevice swap_dev{"swap", ssd, 1_GiB};
+
+  std::unique_ptr<VirtualMachine> make(Bytes size = 64_MiB,
+                                       Bytes reservation = 32_MiB) {
+    mem::GuestMemoryConfig mc;
+    mc.size = size;
+    mc.reservation = reservation;
+    auto memory =
+        std::make_unique<mem::GuestMemory>(mc, &swap_dev, Rng(1, "vm"));
+    VmConfig vc;
+    vc.name = "vm";
+    vc.memory = size;
+    vc.reservation = reservation;
+    vc.vcpus = 2;
+    return std::make_unique<VirtualMachine>(vc, std::move(memory), 0);
+  }
+};
+
+TEST(VirtualMachine, BasicAccessors) {
+  Fixture fx;
+  auto machine = fx.make();
+  EXPECT_EQ(machine->name(), "vm");
+  EXPECT_EQ(machine->page_count(), pages_for(64_MiB));
+  EXPECT_EQ(machine->vcpus(), 2u);
+  EXPECT_EQ(machine->host_node(), 0u);
+  EXPECT_TRUE(machine->running());
+  machine->set_host_node(3);
+  EXPECT_EQ(machine->host_node(), 3u);
+}
+
+TEST(VirtualMachine, AccessRoutesToMemory) {
+  Fixture fx;
+  auto machine = fx.make();
+  EXPECT_GE(machine->access_page(0, true, 1), 0);
+  EXPECT_TRUE(machine->memory().is_resident(0));
+  EXPECT_EQ(machine->access_page(0, false, 2), 0);  // fast path
+}
+
+TEST(VirtualMachine, SuspendResume) {
+  Fixture fx;
+  auto machine = fx.make();
+  machine->suspend();
+  EXPECT_FALSE(machine->running());
+  machine->resume();
+  EXPECT_TRUE(machine->running());
+  EXPECT_GE(machine->access_page(1, false, 1), 0);
+}
+
+TEST(VirtualMachine, RemoteFaultHandlerInstallsAndGetsCharged) {
+  Fixture fx;
+  auto machine = fx.make();
+  // Build a "destination process" memory and swap it in.
+  mem::GuestMemoryConfig mc;
+  mc.size = 64_MiB;
+  mc.reservation = 32_MiB;
+  auto dest = std::make_unique<mem::GuestMemory>(mc, &fx.swap_dev, Rng(2, "d"));
+  dest->mark_all_remote();
+  mem::GuestMemory* dest_raw = dest.get();
+  auto old = machine->swap_memory(std::move(dest));
+  EXPECT_NE(old, nullptr);
+
+  int faults = 0;
+  machine->set_remote_fault_handler(
+      [&](PageIndex p, bool, std::uint32_t tick) -> SimTime {
+        ++faults;
+        dest_raw->install_resident(p, tick);
+        return 1234;
+      });
+  EXPECT_TRUE(machine->has_remote_fault_handler());
+  SimTime lat = machine->access_page(7, true, 1);
+  EXPECT_EQ(faults, 1);
+  EXPECT_GE(lat, 1234);
+  // Installed: the second access is a plain resident hit.
+  EXPECT_EQ(machine->access_page(7, false, 2), 0);
+  EXPECT_EQ(faults, 1);
+  machine->clear_remote_fault_handler();
+  EXPECT_FALSE(machine->has_remote_fault_handler());
+}
+
+TEST(VirtualMachine, SwapMemoryReturnsOldMemory) {
+  Fixture fx;
+  auto machine = fx.make();
+  machine->access_page(0, true, 1);
+  mem::GuestMemory* original = &machine->memory();
+  mem::GuestMemoryConfig mc;
+  mc.size = 64_MiB;
+  mc.reservation = 32_MiB;
+  auto fresh = std::make_unique<mem::GuestMemory>(mc, &fx.swap_dev, Rng(3, "f"));
+  auto old = machine->swap_memory(std::move(fresh));
+  EXPECT_EQ(old.get(), original);
+  EXPECT_TRUE(old->is_resident(0));       // state travels with the object
+  EXPECT_FALSE(machine->memory().is_resident(0));  // new memory is fresh
+}
+
+}  // namespace
+}  // namespace agile::vm

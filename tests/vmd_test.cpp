@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "vmd/vmd.hpp"
+#include "vmd/vmd_swap_device.hpp"
+
+namespace agile::vmd {
+namespace {
+
+struct Fixture {
+  net::Network net;
+  net::NodeId source, dest, inter1, inter2;
+  VmdServer s1, s2;
+  VmdClient client;
+
+  Fixture()
+      : net(net::NetworkConfig{}),
+        source(net.add_node("source")),
+        dest(net.add_node("dest")),
+        inter1(net.add_node("inter1")),
+        inter2(net.add_node("inter2")),
+        s1("vmd-s1", inter1, {.capacity = 1_MiB, .service_time = 3}),
+        s2("vmd-s2", inter2, {.capacity = 1_MiB, .service_time = 3}),
+        client(&net, source) {
+    client.register_server(&s1);
+    client.register_server(&s2);
+  }
+};
+
+TEST(VmdServer, AllocateOnWriteOnly) {
+  net::Network net;
+  net::NodeId n = net.add_node("i");
+  VmdServer s("s", n, {.capacity = 2 * kPageSize, .service_time = 3});
+  EXPECT_EQ(s.used_bytes(), 0u);  // nothing reserved in advance
+  EXPECT_EQ(s.store_page(), VmdTier::kMemory);
+  EXPECT_EQ(s.store_page(), VmdTier::kMemory);
+  EXPECT_EQ(s.store_page(), std::nullopt);  // full, no disk tier
+  EXPECT_EQ(s.free_bytes(), 0u);
+  s.drop_page(VmdTier::kMemory);
+  EXPECT_EQ(s.store_page(), VmdTier::kMemory);
+}
+
+TEST(VmdServer, DiskTierAbsorbsOverflow) {
+  net::Network net;
+  net::NodeId n = net.add_node("i");
+  VmdServerConfig cfg;
+  cfg.capacity = 2 * kPageSize;
+  cfg.disk_capacity = 2 * kPageSize;
+  VmdServer s("s", n, cfg);
+  EXPECT_EQ(s.store_page(), VmdTier::kMemory);
+  EXPECT_EQ(s.store_page(), VmdTier::kMemory);
+  EXPECT_EQ(s.store_page(), VmdTier::kDisk);  // spills
+  EXPECT_EQ(s.store_page(), VmdTier::kDisk);
+  EXPECT_EQ(s.store_page(), std::nullopt);  // both tiers full
+  EXPECT_EQ(s.memory_pages(), 2u);
+  EXPECT_EQ(s.disk_pages(), 2u);
+  // Disk reads are orders of magnitude slower than memory service.
+  SimTime mem_lat = s.read_latency(VmdTier::kMemory);
+  SimTime disk_lat = s.read_latency(VmdTier::kDisk);
+  EXPECT_GT(disk_lat, 10 * mem_lat);
+  s.drop_page(VmdTier::kDisk);
+  EXPECT_EQ(s.store_page(), VmdTier::kDisk);
+  s.advance(sec(1));  // drains the tier device queue
+}
+
+TEST(VmdClient, RoundRobinSpreadsPages) {
+  Fixture fx;
+  NamespaceId ns = fx.client.create_namespace("vm1");
+  for (PageKey k = 0; k < 100; ++k) fx.client.write_page(ns, k);
+  EXPECT_EQ(fx.s1.used_pages(), 50u);
+  EXPECT_EQ(fx.s2.used_pages(), 50u);
+  EXPECT_EQ(fx.client.namespace_pages(ns), 100u);
+}
+
+TEST(VmdClient, SkipsFullServers) {
+  Fixture fx;
+  NamespaceId ns = fx.client.create_namespace("vm1");
+  std::uint64_t cap1 = fx.s1.capacity() / kPageSize;
+  std::uint64_t cap2 = fx.s2.capacity() / kPageSize;
+  for (PageKey k = 0; k < cap1 + cap2; ++k) fx.client.write_page(ns, k);
+  EXPECT_EQ(fx.s1.free_bytes(), 0u);
+  EXPECT_EQ(fx.s2.free_bytes(), 0u);
+}
+
+TEST(VmdClient, ReadFindsPageWherever) {
+  Fixture fx;
+  NamespaceId ns = fx.client.create_namespace("vm1");
+  for (PageKey k = 0; k < 10; ++k) fx.client.write_page(ns, k);
+  for (PageKey k = 0; k < 10; ++k) {
+    EXPECT_TRUE(fx.client.has_page(ns, k));
+    SimTime lat = fx.client.read_page(ns, k);
+    EXPECT_GE(lat, 200);          // at least the RTT
+    EXPECT_LT(lat, msec(2));      // remote memory, not disk
+  }
+}
+
+TEST(VmdClient, NamespacesAreIsolated) {
+  Fixture fx;
+  NamespaceId a = fx.client.create_namespace("vm-a");
+  NamespaceId b = fx.client.create_namespace("vm-b");
+  fx.client.write_page(a, 0);
+  EXPECT_TRUE(fx.client.has_page(a, 0));
+  EXPECT_FALSE(fx.client.has_page(b, 0));
+  EXPECT_EQ(fx.client.namespace_name(a), "vm-a");
+  EXPECT_EQ(fx.client.namespace_name(b), "vm-b");
+}
+
+TEST(VmdClient, DropReleasesServerFrame) {
+  Fixture fx;
+  NamespaceId ns = fx.client.create_namespace("vm1");
+  fx.client.write_page(ns, 0);
+  std::uint64_t used = fx.s1.used_pages() + fx.s2.used_pages();
+  EXPECT_EQ(used, 1u);
+  fx.client.drop_page(ns, 0);
+  EXPECT_EQ(fx.s1.used_pages() + fx.s2.used_pages(), 0u);
+  EXPECT_FALSE(fx.client.has_page(ns, 0));
+}
+
+TEST(VmdClient, AvailabilityCacheTracksServers) {
+  Fixture fx;
+  NamespaceId ns = fx.client.create_namespace("vm1");
+  Bytes before = fx.client.cached_free_bytes();
+  for (PageKey k = 0; k < 10; ++k) fx.client.write_page(ns, k);
+  EXPECT_EQ(fx.client.cached_free_bytes(), before - 10 * kPageSize);
+  fx.client.update_availability();
+  EXPECT_EQ(fx.client.cached_free_bytes(), before - 10 * kPageSize);
+}
+
+TEST(VmdClient, ReadsConsumeNetworkBandwidth) {
+  Fixture fx;
+  NamespaceId ns = fx.client.create_namespace("vm1");
+  fx.client.write_page(ns, 0);
+  fx.net.advance(msec(100));
+  auto rx_before = fx.net.stats(fx.source).rx_bytes;
+  fx.client.read_page(ns, 0);
+  fx.net.advance(msec(100));
+  EXPECT_GE(fx.net.stats(fx.source).rx_bytes - rx_before, kPageSize);
+}
+
+TEST(VmdClient, CongestedLinkSlowsReads) {
+  Fixture fx;
+  NamespaceId ns = fx.client.create_namespace("vm1");
+  fx.client.write_page(ns, 0);
+  fx.net.advance(msec(100));
+  SimTime idle = fx.client.read_page(ns, 0);
+  // Saturate inter1 -> source with a bulk flow.
+  net::FlowId f = fx.net.open_flow(fx.inter1, fx.source, [](Bytes) {});
+  fx.net.offer(f, 10_GiB);
+  fx.net.advance(sec(1));
+  SimTime busy = fx.client.read_page(ns, 0);
+  EXPECT_GT(busy, idle);
+}
+
+TEST(VmdSwapDevice, SwapInterfaceRoundTrip) {
+  Fixture fx;
+  VmdSwapDevice dev("blk1", &fx.client, 1_MiB);
+  swap::SwapSlot s = dev.allocate_slot();
+  dev.write_page(s);
+  EXPECT_EQ(dev.used_slots(), 1u);
+  EXPECT_EQ(dev.stored_pages(), 1u);
+  SimTime lat = dev.read_page(s);
+  EXPECT_GT(lat, 0);
+  EXPECT_EQ(dev.stats().reads, 1u);
+  EXPECT_EQ(dev.stats().writes, 1u);
+  dev.free_slot(s);
+  EXPECT_EQ(dev.used_slots(), 0u);
+  EXPECT_EQ(dev.stored_pages(), 0u);
+}
+
+TEST(VmdSwapDevice, FreeingUnwrittenSlotIsSafe) {
+  Fixture fx;
+  VmdSwapDevice dev("blk1", &fx.client, 1_MiB);
+  swap::SwapSlot s = dev.allocate_slot();
+  dev.free_slot(s);  // never written; must not touch servers
+  EXPECT_EQ(dev.stored_pages(), 0u);
+}
+
+TEST(VmdSwapDevice, PortableAcrossHosts) {
+  Fixture fx;
+  VmdSwapDevice dev("blk1", &fx.client, 1_MiB);
+  swap::SwapSlot s = dev.allocate_slot();
+  dev.write_page(s);
+  // Migrate: the device re-attaches at the destination; the page is still
+  // reachable without any data movement between source and dest.
+  dev.attach_to(fx.dest);
+  EXPECT_EQ(fx.client.access_node(), fx.dest);
+  SimTime lat = dev.read_page(s);
+  EXPECT_GT(lat, 0);
+  EXPECT_EQ(dev.stored_pages(), 1u);
+}
+
+TEST(VmdSwapDevice, SeparateDevicesShareServers) {
+  Fixture fx;
+  VmdSwapDevice d1("blk1", &fx.client, 1_MiB);
+  VmdSwapDevice d2("blk2", &fx.client, 1_MiB);
+  swap::SwapSlot a = d1.allocate_slot();
+  swap::SwapSlot b = d2.allocate_slot();
+  d1.write_page(a);
+  d2.write_page(b);
+  EXPECT_EQ(fx.s1.used_pages() + fx.s2.used_pages(), 2u);
+  EXPECT_EQ(d1.stored_pages(), 1u);
+  EXPECT_EQ(d2.stored_pages(), 1u);
+}
+
+
+TEST(VmdClient, SpillsToDiskTierAndPrefersMemoryServers) {
+  net::Network net;
+  net::NodeId client_node = net.add_node("c");
+  net::NodeId n1 = net.add_node("i1");
+  net::NodeId n2 = net.add_node("i2");
+  VmdServerConfig small;
+  small.capacity = 4 * kPageSize;
+  small.disk_capacity = 64 * kPageSize;
+  VmdServer s1("s1", n1, small);
+  VmdServer s2("s2", n2, small);
+  VmdClient client(&net, client_node);
+  client.register_server(&s1);
+  client.register_server(&s2);
+  NamespaceId ns = client.create_namespace("vm");
+  // 8 pages fit in memory across the two servers; the rest hit disk.
+  for (PageKey k = 0; k < 20; ++k) client.write_page(ns, k);
+  EXPECT_EQ(s1.memory_pages() + s2.memory_pages(), 8u);
+  EXPECT_EQ(s1.disk_pages() + s2.disk_pages(), 12u);
+  // Reads from spilled pages still resolve (and are slower).
+  SimTime mem_read = client.read_page(ns, 0);
+  SimTime disk_read = client.read_page(ns, 19);
+  EXPECT_GT(disk_read, mem_read);
+  // Drops return capacity to the right tier.
+  for (PageKey k = 0; k < 20; ++k) client.drop_page(ns, k);
+  EXPECT_EQ(s1.used_pages() + s2.used_pages(), 0u);
+}
+
+TEST(VmdClient, DiskTierKeepsSwapDeviceUsable) {
+  net::Network net;
+  net::NodeId client_node = net.add_node("c");
+  net::NodeId n1 = net.add_node("i1");
+  VmdServerConfig cfg;
+  cfg.capacity = 8 * kPageSize;
+  cfg.disk_capacity = 1024 * kPageSize;
+  VmdServer s1("s1", n1, cfg);
+  VmdClient client(&net, client_node);
+  client.register_server(&s1);
+  VmdSwapDevice dev("blk", &client, 4_MiB);
+  std::vector<swap::SwapSlot> slots;
+  for (int i = 0; i < 100; ++i) {
+    slots.push_back(dev.allocate_slot());
+    dev.write_page(slots.back());
+  }
+  EXPECT_EQ(dev.stored_pages(), 100u);
+  for (swap::SwapSlot slot : slots) EXPECT_GT(dev.read_page(slot), 0);
+  for (swap::SwapSlot slot : slots) dev.free_slot(slot);
+  EXPECT_EQ(s1.used_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace agile::vmd

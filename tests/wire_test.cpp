@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "migration/wire.hpp"
+
+namespace agile::migration {
+namespace {
+
+struct Fixture {
+  net::Network net;
+  net::NodeId a, b;
+  Fixture() : a(net.add_node("a")), b(net.add_node("b")) {}
+};
+
+TEST(WireStream, DeliversMessagesInOrder) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  std::vector<int> order;
+  ws.send(1000, [&] { order.push_back(1); });
+  ws.send(1000, [&] { order.push_back(2); });
+  ws.send(1000, [&] { order.push_back(3); });
+  fx.net.advance(msec(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(ws.idle());
+  EXPECT_EQ(ws.delivered_bytes(), 3000u);
+}
+
+TEST(WireStream, PartialDeliveryDefersCallback) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  bool delivered = false;
+  // ~11.7 MB/100ms at 1 Gbps: a 20 MB message needs two quanta.
+  ws.send(20'000'000, [&] { delivered = true; });
+  fx.net.advance(msec(100));
+  EXPECT_FALSE(delivered);
+  EXPECT_GT(ws.backlog(), 0u);
+  fx.net.advance(msec(100));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(ws.backlog(), 0u);
+}
+
+TEST(WireStream, LargeMessageDoesNotStarveLaterOnes) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  std::vector<int> order;
+  ws.send(5'000'000, [&] { order.push_back(1); });
+  ws.send(64, [&] { order.push_back(2); });
+  fx.net.advance(msec(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(WireStream, CallbackMaySendMore) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 5) ws.send(100, next);
+  };
+  ws.send(100, next);
+  for (int i = 0; i < 10; ++i) fx.net.advance(msec(100));
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(WireStream, NullCallbackIsFine) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  ws.send(1000, nullptr);
+  fx.net.advance(msec(100));
+  EXPECT_TRUE(ws.idle());
+}
+
+TEST(WireStream, QueuedMessagesCountTracksBacklog) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  for (int i = 0; i < 10; ++i) ws.send(1_MiB, nullptr);
+  EXPECT_EQ(ws.queued_messages(), 10u);
+  fx.net.advance(msec(100));  // ~11 of the 10 MiB fit in one quantum
+  EXPECT_LT(ws.queued_messages(), 10u);
+}
+
+TEST(WireStream, DestructionClosesFlow) {
+  Fixture fx;
+  {
+    WireStream ws(&fx.net, fx.a, fx.b);
+    ws.send(1_MiB, nullptr);
+    EXPECT_EQ(fx.net.open_flow_count(), 1u);
+  }
+  EXPECT_EQ(fx.net.open_flow_count(), 0u);
+  fx.net.advance(msec(100));  // must not crash on the closed flow
+}
+
+TEST(WireStream, TwoStreamsShareTheLinkFairly) {
+  Fixture fx;
+  net::NodeId c = fx.net.add_node("c");
+  WireStream w1(&fx.net, fx.a, fx.b);
+  WireStream w2(&fx.net, fx.a, c);
+  w1.send(100_MiB, nullptr);
+  w2.send(100_MiB, nullptr);
+  fx.net.advance(sec(1));
+  double r = static_cast<double>(w1.delivered_bytes()) /
+             static_cast<double>(w2.delivered_bytes());
+  EXPECT_NEAR(r, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace agile::migration
