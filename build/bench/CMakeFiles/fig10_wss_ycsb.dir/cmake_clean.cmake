@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_wss_ycsb.dir/fig10_wss_ycsb.cpp.o"
+  "CMakeFiles/fig10_wss_ycsb.dir/fig10_wss_ycsb.cpp.o.d"
+  "fig10_wss_ycsb"
+  "fig10_wss_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_wss_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

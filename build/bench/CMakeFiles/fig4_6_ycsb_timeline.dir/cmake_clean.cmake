@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_6_ycsb_timeline.dir/fig4_6_ycsb_timeline.cpp.o"
+  "CMakeFiles/fig4_6_ycsb_timeline.dir/fig4_6_ycsb_timeline.cpp.o.d"
+  "fig4_6_ycsb_timeline"
+  "fig4_6_ycsb_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_6_ycsb_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_data_transferred.dir/fig8_data_transferred.cpp.o"
+  "CMakeFiles/fig8_data_transferred.dir/fig8_data_transferred.cpp.o.d"
+  "fig8_data_transferred"
+  "fig8_data_transferred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_data_transferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_wss_tracking.dir/fig9_wss_tracking.cpp.o"
+  "CMakeFiles/fig9_wss_tracking.dir/fig9_wss_tracking.cpp.o.d"
+  "fig9_wss_tracking"
+  "fig9_wss_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_wss_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

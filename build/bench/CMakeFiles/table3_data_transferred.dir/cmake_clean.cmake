@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_data_transferred.dir/table3_data_transferred.cpp.o"
+  "CMakeFiles/table3_data_transferred.dir/table3_data_transferred.cpp.o.d"
+  "table3_data_transferred"
+  "table3_data_transferred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_data_transferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/agile_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/agile_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmd/CMakeFiles/agile_vmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/wss/CMakeFiles/agile_wss.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/agile_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/agile_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/agile_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/agile_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/agile_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/agile_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agile_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/agile_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/agile_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agile_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

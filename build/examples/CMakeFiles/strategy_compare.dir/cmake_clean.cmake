@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_compare.dir/strategy_compare.cpp.o"
+  "CMakeFiles/strategy_compare.dir/strategy_compare.cpp.o.d"
+  "strategy_compare"
+  "strategy_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_autotune.dir/wss_autotune.cpp.o"
+  "CMakeFiles/wss_autotune.dir/wss_autotune.cpp.o.d"
+  "wss_autotune"
+  "wss_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

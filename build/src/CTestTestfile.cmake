@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("storage")
+subdirs("swap")
+subdirs("mem")
+subdirs("vmd")
+subdirs("metrics")
+subdirs("workload")
+subdirs("vm")
+subdirs("host")
+subdirs("migration")
+subdirs("wss")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_core.dir/pressure_responder.cpp.o"
+  "CMakeFiles/agile_core.dir/pressure_responder.cpp.o.d"
+  "CMakeFiles/agile_core.dir/scenarios.cpp.o"
+  "CMakeFiles/agile_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/agile_core.dir/testbed.cpp.o"
+  "CMakeFiles/agile_core.dir/testbed.cpp.o.d"
+  "libagile_core.a"
+  "libagile_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

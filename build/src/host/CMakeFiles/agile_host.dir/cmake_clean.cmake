@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_host.dir/cluster.cpp.o"
+  "CMakeFiles/agile_host.dir/cluster.cpp.o.d"
+  "CMakeFiles/agile_host.dir/host.cpp.o"
+  "CMakeFiles/agile_host.dir/host.cpp.o.d"
+  "libagile_host.a"
+  "libagile_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

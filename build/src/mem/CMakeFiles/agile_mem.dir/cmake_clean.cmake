@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_mem.dir/guest_memory.cpp.o"
+  "CMakeFiles/agile_mem.dir/guest_memory.cpp.o.d"
+  "libagile_mem.a"
+  "libagile_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

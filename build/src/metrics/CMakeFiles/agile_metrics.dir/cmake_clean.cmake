@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_metrics.dir/table.cpp.o"
+  "CMakeFiles/agile_metrics.dir/table.cpp.o.d"
+  "CMakeFiles/agile_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/agile_metrics.dir/timeseries.cpp.o.d"
+  "libagile_metrics.a"
+  "libagile_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_migration.dir/agile.cpp.o"
+  "CMakeFiles/agile_migration.dir/agile.cpp.o.d"
+  "CMakeFiles/agile_migration.dir/migration.cpp.o"
+  "CMakeFiles/agile_migration.dir/migration.cpp.o.d"
+  "CMakeFiles/agile_migration.dir/postcopy.cpp.o"
+  "CMakeFiles/agile_migration.dir/postcopy.cpp.o.d"
+  "CMakeFiles/agile_migration.dir/precopy.cpp.o"
+  "CMakeFiles/agile_migration.dir/precopy.cpp.o.d"
+  "CMakeFiles/agile_migration.dir/scatter_gather.cpp.o"
+  "CMakeFiles/agile_migration.dir/scatter_gather.cpp.o.d"
+  "CMakeFiles/agile_migration.dir/wire.cpp.o"
+  "CMakeFiles/agile_migration.dir/wire.cpp.o.d"
+  "libagile_migration.a"
+  "libagile_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

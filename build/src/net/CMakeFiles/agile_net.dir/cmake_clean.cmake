@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_net.dir/network.cpp.o"
+  "CMakeFiles/agile_net.dir/network.cpp.o.d"
+  "libagile_net.a"
+  "libagile_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

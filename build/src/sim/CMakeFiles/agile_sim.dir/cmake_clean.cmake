@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_sim.dir/simulation.cpp.o"
+  "CMakeFiles/agile_sim.dir/simulation.cpp.o.d"
+  "libagile_sim.a"
+  "libagile_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

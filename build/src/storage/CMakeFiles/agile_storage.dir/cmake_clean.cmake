@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_storage.dir/device.cpp.o"
+  "CMakeFiles/agile_storage.dir/device.cpp.o.d"
+  "libagile_storage.a"
+  "libagile_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagile_storage.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_swap.dir/swap_device.cpp.o"
+  "CMakeFiles/agile_swap.dir/swap_device.cpp.o.d"
+  "libagile_swap.a"
+  "libagile_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_util.dir/bitmap.cpp.o"
+  "CMakeFiles/agile_util.dir/bitmap.cpp.o.d"
+  "CMakeFiles/agile_util.dir/log.cpp.o"
+  "CMakeFiles/agile_util.dir/log.cpp.o.d"
+  "CMakeFiles/agile_util.dir/rng.cpp.o"
+  "CMakeFiles/agile_util.dir/rng.cpp.o.d"
+  "CMakeFiles/agile_util.dir/status.cpp.o"
+  "CMakeFiles/agile_util.dir/status.cpp.o.d"
+  "libagile_util.a"
+  "libagile_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_vm.dir/virtual_machine.cpp.o"
+  "CMakeFiles/agile_vm.dir/virtual_machine.cpp.o.d"
+  "libagile_vm.a"
+  "libagile_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmd/vmd.cpp" "src/vmd/CMakeFiles/agile_vmd.dir/vmd.cpp.o" "gcc" "src/vmd/CMakeFiles/agile_vmd.dir/vmd.cpp.o.d"
+  "/root/repo/src/vmd/vmd_swap_device.cpp" "src/vmd/CMakeFiles/agile_vmd.dir/vmd_swap_device.cpp.o" "gcc" "src/vmd/CMakeFiles/agile_vmd.dir/vmd_swap_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/agile_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agile_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/agile_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/agile_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/agile_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

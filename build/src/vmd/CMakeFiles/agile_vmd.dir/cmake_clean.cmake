@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_vmd.dir/vmd.cpp.o"
+  "CMakeFiles/agile_vmd.dir/vmd.cpp.o.d"
+  "CMakeFiles/agile_vmd.dir/vmd_swap_device.cpp.o"
+  "CMakeFiles/agile_vmd.dir/vmd_swap_device.cpp.o.d"
+  "libagile_vmd.a"
+  "libagile_vmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_vmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

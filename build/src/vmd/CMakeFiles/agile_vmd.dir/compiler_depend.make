@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for agile_vmd.
+# This may be replaced when dependencies are built.

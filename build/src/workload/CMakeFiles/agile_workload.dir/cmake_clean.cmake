@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_workload.dir/oltp.cpp.o"
+  "CMakeFiles/agile_workload.dir/oltp.cpp.o.d"
+  "CMakeFiles/agile_workload.dir/ycsb.cpp.o"
+  "CMakeFiles/agile_workload.dir/ycsb.cpp.o.d"
+  "libagile_workload.a"
+  "libagile_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

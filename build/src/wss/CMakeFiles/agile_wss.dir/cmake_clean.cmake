@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agile_wss.dir/reservation_controller.cpp.o"
+  "CMakeFiles/agile_wss.dir/reservation_controller.cpp.o.d"
+  "CMakeFiles/agile_wss.dir/watermark_trigger.cpp.o"
+  "CMakeFiles/agile_wss.dir/watermark_trigger.cpp.o.d"
+  "libagile_wss.a"
+  "libagile_wss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agile_wss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

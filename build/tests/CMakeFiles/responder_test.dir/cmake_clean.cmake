@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/responder_test.dir/responder_test.cpp.o"
+  "CMakeFiles/responder_test.dir/responder_test.cpp.o.d"
+  "responder_test"
+  "responder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/responder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

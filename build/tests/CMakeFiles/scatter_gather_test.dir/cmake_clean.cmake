@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_gather_test.dir/scatter_gather_test.cpp.o"
+  "CMakeFiles/scatter_gather_test.dir/scatter_gather_test.cpp.o.d"
+  "scatter_gather_test"
+  "scatter_gather_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_gather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

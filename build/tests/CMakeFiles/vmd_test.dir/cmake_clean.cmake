@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmd_test.dir/vmd_test.cpp.o"
+  "CMakeFiles/vmd_test.dir/vmd_test.cpp.o.d"
+  "vmd_test"
+  "vmd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

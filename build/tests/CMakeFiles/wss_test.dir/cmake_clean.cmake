@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_test.dir/wss_test.cpp.o"
+  "CMakeFiles/wss_test.dir/wss_test.cpp.o.d"
+  "wss_test"
+  "wss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
