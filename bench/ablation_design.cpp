@@ -15,8 +15,12 @@
 //  E. Source eviction speed — how fast each technique actually frees the
 //     source (scatter-gather, the authors' companion technique, is built
 //     for exactly this).
+//
+// Every section is a sweep of independent runs, so each fans across the
+// shared ParallelSweep pool; rows print in fixed order afterwards.
 #include "bench_common.hpp"
 #include "core/scenarios.hpp"
+#include "parallel_sweep.hpp"
 
 using namespace agile;
 using core::Technique;
@@ -27,8 +31,9 @@ namespace {
 migration::MigrationMetrics run_pressured_agile(
     std::uint32_t vmd_servers, Bytes server_capacity, Bytes server_disk,
     migration::MigrationConfig mig_cfg = {}) {
+  const bool quick = bench::quick_mode();
   core::TestbedConfig cfg;
-  cfg.source.ram = 2_GiB;
+  cfg.source.ram = quick ? 1_GiB : 2_GiB;
   cfg.source.host_os_bytes = 64_MiB;
   cfg.dest = cfg.source;
   cfg.dest.name = "dest";
@@ -39,15 +44,15 @@ migration::MigrationMetrics run_pressured_agile(
 
   core::VmSpec spec;
   spec.name = "vm0";
-  spec.memory = 4_GiB;
-  spec.reservation = 1536_MiB;
+  spec.memory = quick ? 2_GiB : 4_GiB;
+  spec.reservation = quick ? 768_MiB : 1536_MiB;
   spec.swap = core::SwapBinding::kPerVmDevice;
   core::VmHandle& h = bed.create_vm(spec);
 
   workload::YcsbConfig ycfg;
-  ycfg.dataset_bytes = 3_GiB;
+  ycfg.dataset_bytes = quick ? 1536_MiB : 3_GiB;
   ycfg.guest_os_bytes = 64_MiB;
-  ycfg.active_bytes = 1_GiB;
+  ycfg.active_bytes = quick ? 512_MiB : 1_GiB;
   ycfg.read_fraction = 0.8;
   auto load = std::make_unique<workload::YcsbWorkload>(
       h.machine, &bed.cluster().network(), bed.client_node(), ycfg,
@@ -60,33 +65,59 @@ migration::MigrationMetrics run_pressured_agile(
 
   auto mig = bed.make_migration(Technique::kAgile, h, 0, mig_cfg);
   mig->start();
-  double deadline = bed.cluster().now_seconds() + 3600;
+  double deadline = bed.cluster().now_seconds() + (quick ? 1200 : 3600);
   while (!mig->completed() && bed.cluster().now_seconds() < deadline) {
     bed.cluster().run_for_seconds(1);
   }
   // Post-migration: widen the active set so cold pages get demand-read from
   // wherever they live (memory tier or disk tier).
   std::uint64_t before = ycsb->ops_total();
-  ycsb->set_active_bytes(3_GiB);
+  ycsb->set_active_bytes(quick ? 1_GiB : 3_GiB);
   bed.cluster().run_for_seconds(30);
+  bench::record_run(bed.cluster().simulation().events_executed());
   migration::MigrationMetrics m = mig->metrics();
   // Smuggle the post-widen throughput out via a copy (cold-read throughput).
   m.pages_swap_faulted = (ycsb->ops_total() - before) / 30;
   return m;
 }
 
+migration::MigrationMetrics run_single_vm_pressured(Technique technique) {
+  const bool quick = bench::quick_mode();
+  scen::SingleVmOptions opt;
+  opt.technique = technique;
+  opt.host_ram = quick ? 1_GiB : 2_GiB;
+  opt.vm_memory = quick ? 2_GiB : 4_GiB;
+  opt.busy = true;
+  if (quick) {
+    opt.guest_os = 32_MiB;
+    opt.free_margin = 64_MiB;
+  }
+  scen::SingleVm sc = scen::make_single_vm(opt);
+  sc.prepare();
+  sc.run_migration();
+  bench::record_run(sc.bed->cluster().simulation().events_executed());
+  return sc.migration->metrics();
+}
+
 }  // namespace
 
 int main() {
   bench::banner("Ablations: VMD server count, descriptors, send window, disk tier");
+  const bool quick = bench::quick_mode();
+  const Bytes pool_total = quick ? 4_GiB : 16_GiB;
+  bench::ParallelSweep sweep;
 
   // --- A: intermediate host count -----------------------------------------
   {
+    std::vector<std::uint32_t> counts = {1, 2, 4};
+    auto runs = sweep.map(counts, [&](std::uint32_t n) {
+      return run_pressured_agile(n, pool_total / n, 0);
+    });
     metrics::Table t({"VMD servers", "migration time (s)", "wire (MiB)",
                       "post-migration cold-read ops/s"});
-    for (std::uint32_t n : {1u, 2u, 4u}) {
-      auto m = run_pressured_agile(n, 16_GiB / n, 0);
-      t.add_row({std::to_string(n),
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const auto& m = runs[i];
+      t.add_row({std::to_string(counts[i]),
                  metrics::Table::num(to_seconds(m.total_time()), 1),
                  metrics::Table::num(to_mib(m.bytes_transferred), 0),
                  std::to_string(m.pages_swap_faulted)});
@@ -97,21 +128,15 @@ int main() {
 
   // --- B: descriptors vs shipping cold pages ------------------------------
   {
+    std::vector<Technique> techniques = {Technique::kAgile, Technique::kPostcopy,
+                                         Technique::kPrecopy};
+    auto runs = sweep.map(techniques, run_single_vm_pressured);
     metrics::Table t({"protocol", "migration time (s)", "wire (MiB)"});
-    for (Technique technique : {Technique::kAgile, Technique::kPostcopy,
-                                Technique::kPrecopy}) {
-      scen::SingleVmOptions opt;
-      opt.technique = technique;
-      opt.host_ram = 2_GiB;
-      opt.vm_memory = 4_GiB;
-      opt.busy = true;
-      scen::SingleVm sc = scen::make_single_vm(opt);
-      sc.prepare();
-      sc.run_migration();
-      const auto& m = sc.migration->metrics();
-      t.add_row({technique == Technique::kAgile
+    for (std::size_t i = 0; i < techniques.size(); ++i) {
+      const auto& m = runs[i];
+      t.add_row({techniques[i] == Technique::kAgile
                      ? "agile (descriptors)"
-                     : (technique == Technique::kPostcopy
+                     : (techniques[i] == Technique::kPostcopy
                             ? "cold pages shipped once (post-copy)"
                             : "cold pages shipped + retransmits (pre-copy)"),
                  metrics::Table::num(to_seconds(m.total_time()), 1),
@@ -122,13 +147,16 @@ int main() {
 
   // --- C: send window -------------------------------------------------------
   {
-    metrics::Table t({"send window (MiB)", "migration time (s)"});
-    for (Bytes window : {1_MiB, 4_MiB, 16_MiB, 32_MiB, 64_MiB}) {
+    std::vector<Bytes> windows = {1_MiB, 4_MiB, 16_MiB, 32_MiB, 64_MiB};
+    auto runs = sweep.map(windows, [&](Bytes window) {
       migration::MigrationConfig mc;
       mc.send_window = window;
-      auto m = run_pressured_agile(1, 16_GiB, 0, mc);
-      t.add_row({metrics::Table::num(to_mib(window), 0),
-                 metrics::Table::num(to_seconds(m.total_time()), 1)});
+      return run_pressured_agile(1, pool_total, 0, mc);
+    });
+    metrics::Table t({"send window (MiB)", "migration time (s)"});
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      t.add_row({metrics::Table::num(to_mib(windows[i]), 0),
+                 metrics::Table::num(to_seconds(runs[i].total_time()), 1)});
     }
     std::printf("\nC. Stream send window (must cover a scheduling quantum of "
                 "line rate):\n%s",
@@ -137,22 +165,14 @@ int main() {
 
   // --- E: source eviction speed --------------------------------------------
   {
+    std::vector<Technique> techniques = {Technique::kPrecopy, Technique::kPostcopy,
+                                         Technique::kAgile,
+                                         Technique::kScatterGather};
+    auto runs = sweep.map(techniques, run_single_vm_pressured);
     metrics::Table t({"technique", "source freed after (s)", "direct-channel (MiB)"});
-    for (Technique technique :
-         {Technique::kPrecopy, Technique::kPostcopy, Technique::kAgile,
-          Technique::kScatterGather}) {
-      scen::SingleVmOptions opt;
-      opt.technique = technique;
-      // Scatter-gather needs the portable device; reuse Agile's binding.
-      if (technique == Technique::kScatterGather) opt.technique = technique;
-      opt.host_ram = 2_GiB;
-      opt.vm_memory = 4_GiB;
-      opt.busy = true;
-      scen::SingleVm sc = scen::make_single_vm(opt);
-      sc.prepare();
-      sc.run_migration();
-      const auto& m = sc.migration->metrics();
-      t.add_row({core::technique_name(technique),
+    for (std::size_t i = 0; i < techniques.size(); ++i) {
+      const auto& m = runs[i];
+      t.add_row({core::technique_name(techniques[i]),
                  metrics::Table::num(to_seconds(m.total_time()), 1),
                  metrics::Table::num(to_mib(m.bytes_transferred), 0)});
     }
@@ -162,18 +182,30 @@ int main() {
 
   // --- D: VMD disk tier ------------------------------------------------------
   {
+    struct TierPoint {
+      const char* label;
+      Bytes memory;
+      Bytes disk;
+    };
+    std::vector<TierPoint> tiers = {
+        {quick ? "4 GiB memory" : "16 GiB memory", pool_total, 0},
+        {quick ? "256 MiB memory + 4 GiB disk" : "1 GiB memory + 16 GiB disk",
+         quick ? 256_MiB : 1_GiB, pool_total}};
+    auto runs = sweep.map(tiers, [&](const TierPoint& tier) {
+      return run_pressured_agile(1, tier.memory, tier.disk);
+    });
     metrics::Table t({"VMD config", "migration time (s)",
                       "post-migration cold-read ops/s"});
-    auto mem_only = run_pressured_agile(1, 16_GiB, 0);
-    t.add_row({"16 GiB memory", metrics::Table::num(to_seconds(mem_only.total_time()), 1),
-               std::to_string(mem_only.pages_swap_faulted)});
-    auto tiered = run_pressured_agile(1, 1_GiB, 16_GiB);
-    t.add_row({"1 GiB memory + 16 GiB disk",
-               metrics::Table::num(to_seconds(tiered.total_time()), 1),
-               std::to_string(tiered.pages_swap_faulted)});
+    for (std::size_t i = 0; i < tiers.size(); ++i) {
+      const auto& m = runs[i];
+      t.add_row({tiers[i].label,
+                 metrics::Table::num(to_seconds(m.total_time()), 1),
+                 std::to_string(m.pages_swap_faulted)});
+    }
     std::printf("\nD. Disk-tier spill (paper §IV-A extension): migration is "
                 "unaffected; cold reads slow down:\n%s",
                 t.to_string().c_str());
   }
+  bench::footer();
   return 0;
 }

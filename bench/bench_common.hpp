@@ -1,23 +1,39 @@
 // Shared helpers for the per-figure/table benchmark binaries.
 //
 // Every bench prints the paper-style table on stdout and mirrors raw series
-// into CSV files under bench_out/ (override with AGILE_BENCH_OUT). Set
-// AGILE_BENCH_QUICK=1 to run a scaled-down version of each experiment (CI
-// smoke mode — shapes still hold, absolute numbers shrink).
+// into CSV files under bench_out/ (override with AGILE_BENCH_OUT). Knobs:
+//
+//   AGILE_BENCH_QUICK=1  scaled-down experiments (CI smoke mode — shapes
+//                        still hold, absolute numbers shrink)
+//   AGILE_BENCH_JOBS=N   worker threads for sweep execution (default:
+//                        hardware concurrency; 1 forces serial in-thread)
+//   AGILE_BENCH_FRESH=1  ignore and rewrite the cross-binary run cache
+//
+// Each bench ends with a timing footer (see `footer`) so sweep speedups are
+// measurable: wall-clock, jobs, runs executed vs served from cache, total
+// simulation events and events/second.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "metrics/table.hpp"
 
 namespace agile::bench {
 
-inline std::string out_dir() {
-  const char* env = std::getenv("AGILE_BENCH_OUT");
-  std::string dir = env != nullptr ? env : "bench_out";
-  metrics::ensure_dir(dir);
+/// Output directory, created once. Function-local static so concurrent sweep
+/// workers never race on mkdir and repeated calls cost a load, not a stat.
+inline const std::string& out_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("AGILE_BENCH_OUT");
+    std::string d = env != nullptr ? env : "bench_out";
+    metrics::ensure_dir(d);
+    return d;
+  }();
   return dir;
 }
 
@@ -26,11 +42,79 @@ inline bool quick_mode() {
   return env != nullptr && env[0] == '1';
 }
 
+/// Worker count for sweep execution: AGILE_BENCH_JOBS if set (floored at 1),
+/// otherwise hardware concurrency.
+inline unsigned sweep_jobs() {
+  static const unsigned jobs = [] {
+    if (const char* env = std::getenv("AGILE_BENCH_JOBS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }();
+  return jobs;
+}
+
+/// Process-wide sweep accounting, fed by the runners and printed by `footer`.
+struct SweepStats {
+  std::atomic<std::uint64_t> runs_executed{0};
+  std::atomic<std::uint64_t> runs_cached{0};
+  std::atomic<std::uint64_t> sim_events{0};
+  std::chrono::steady_clock::time_point wall_start =
+      std::chrono::steady_clock::now();
+};
+
+inline SweepStats& sweep_stats() {
+  static SweepStats stats;
+  return stats;
+}
+
+/// Records one freshly executed simulation and the events it ran.
+inline void record_run(std::uint64_t events_executed) {
+  sweep_stats().runs_executed.fetch_add(1, std::memory_order_relaxed);
+  sweep_stats().sim_events.fetch_add(events_executed,
+                                     std::memory_order_relaxed);
+}
+
+/// Records one result served from the cross-binary cache.
+inline void record_cached_run() {
+  sweep_stats().runs_cached.fetch_add(1, std::memory_order_relaxed);
+}
+
 inline void banner(const std::string& title) {
+  sweep_stats().wall_start = std::chrono::steady_clock::now();
   std::printf("\n==== %s ====\n", title.c_str());
   if (quick_mode()) std::printf("(quick mode: scaled-down parameters)\n");
 }
 
 inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Timing footer; every bench prints this last.
+/// Format: `[timing] wall 3.21 s | jobs 4 | runs 36 (+2 cached) | 45123456
+/// sim events | 14.1M events/s`.
+inline void footer() {
+  const SweepStats& s = sweep_stats();
+  double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              s.wall_start)
+                    .count();
+  std::uint64_t events = s.sim_events.load(std::memory_order_relaxed);
+  double rate = wall > 0 ? static_cast<double>(events) / wall : 0;
+  char rate_str[32];
+  if (rate >= 1e6) {
+    std::snprintf(rate_str, sizeof(rate_str), "%.1fM", rate / 1e6);
+  } else {
+    std::snprintf(rate_str, sizeof(rate_str), "%.0f", rate);
+  }
+  std::printf(
+      "[timing] wall %.2f s | jobs %u | runs %llu (+%llu cached) | "
+      "%llu sim events | %s events/s\n",
+      wall, sweep_jobs(),
+      static_cast<unsigned long long>(
+          s.runs_executed.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          s.runs_cached.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(events), rate_str);
+}
 
 }  // namespace agile::bench

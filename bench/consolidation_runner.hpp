@@ -61,6 +61,7 @@ inline ConsolidationRun run_consolidation_uncached(
     sc.bed->cluster().run_for_seconds(5);
   }
 
+  record_run(sc.bed->cluster().simulation().events_executed());
   ConsolidationRun result;
   result.migration = sc.migration->metrics();
   result.avg_perf = sc.average_throughput().mean_between(t_mig, t_mig + window_s);
@@ -74,6 +75,30 @@ inline ConsolidationRun run_consolidation(core::Technique technique,
                     (app == core::scenarios::AppKind::kYcsb ? "ycsb" : "oltp") +
                     (quick_mode() ? "_quick" : "");
   return cached_run(key, [&] { return run_consolidation_uncached(technique, app); });
+}
+
+/// One Tables-I–III sweep point. Tables iterate app (outer) × technique
+/// (inner); `consolidation_points` preserves that order, so point `i` is row
+/// `i / 3`, column `i % 3`.
+struct ConsolidationPoint {
+  core::Technique technique;
+  core::scenarios::AppKind app;
+};
+
+inline std::vector<ConsolidationPoint> consolidation_points() {
+  const core::Technique techniques[] = {core::Technique::kPrecopy,
+                                        core::Technique::kPostcopy,
+                                        core::Technique::kAgile};
+  std::vector<ConsolidationPoint> points;
+  for (core::scenarios::AppKind app :
+       {core::scenarios::AppKind::kYcsb, core::scenarios::AppKind::kOltp}) {
+    for (core::Technique technique : techniques) points.push_back({technique, app});
+  }
+  return points;
+}
+
+inline ConsolidationRun run_consolidation_point(const ConsolidationPoint& pt) {
+  return run_consolidation(pt.technique, pt.app);
 }
 
 }  // namespace agile::bench

@@ -28,6 +28,7 @@ int main() {
   sc.controller->start();
   const double horizon = quick ? 300 : 900;
   sc.bed->cluster().run_for_seconds(horizon - lead_in);
+  bench::record_run(sc.bed->cluster().simulation().events_executed());
 
   const metrics::TimeSeries& tput = sc.probe->series();
   double baseline = tput.mean_between(5, lead_in);
@@ -54,5 +55,6 @@ int main() {
   metrics::write_series_csv(bench::out_dir() + "/fig10_wss_ycsb.csv", {&tput});
   bench::note("Expected shape: throughput near baseline with brief dips right "
               "after reservation shrinks; quick recovery each time.");
+  bench::footer();
   return 0;
 }

@@ -8,6 +8,7 @@
 // Shares (cached) runs with fig8_data_transferred — the paper derives both
 // figures from the same experiments.
 #include "bench_common.hpp"
+#include "parallel_sweep.hpp"
 #include "single_vm_runner.hpp"
 
 using namespace agile;
@@ -15,29 +16,28 @@ using core::Technique;
 
 int main() {
   bench::banner("Figure 7: total migration time vs VM size");
-  const Technique techniques[] = {Technique::kPrecopy, Technique::kPostcopy,
-                                  Technique::kAgile};
+  std::vector<bench::SingleVmPoint> points = bench::single_vm_points();
+  bench::ParallelSweep sweep;
+  std::vector<bench::CachedRun> runs = sweep.map(points, bench::run_single_vm_point);
+
   metrics::Table table({"VM size (GB)", "busy", "technique",
                         "migration time (s)", "downtime (ms)",
                         "swap-ins at source"});
-  for (bool busy : {false, true}) {
-    for (Bytes size : bench::single_vm_sizes()) {
-      for (Technique technique : techniques) {
-        bench::CachedRun r = bench::run_single_vm(technique, size, busy);
-        const migration::MigrationMetrics& m = r.migration;
-        table.add_row(
-            {metrics::Table::num(to_gib(size), 1), busy ? "busy" : "idle",
-             core::technique_name(technique),
-             m.completed ? metrics::Table::num(to_seconds(m.total_time()), 1)
-                         : "DNF",
-             metrics::Table::num(static_cast<double>(m.downtime) / 1000.0, 0),
-             std::to_string(m.pages_swapped_in_at_source)});
-      }
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const bench::SingleVmPoint& pt = points[i];
+    const migration::MigrationMetrics& m = runs[i].migration;
+    table.add_row(
+        {metrics::Table::num(to_gib(pt.size), 1), pt.busy ? "busy" : "idle",
+         core::technique_name(pt.technique),
+         m.completed ? metrics::Table::num(to_seconds(m.total_time()), 1)
+                     : "DNF",
+         metrics::Table::num(static_cast<double>(m.downtime) / 1000.0, 0),
+         std::to_string(m.pages_swapped_in_at_source)});
   }
   std::printf("\n%s\n", table.to_string().c_str());
   table.write_csv(bench::out_dir() + "/fig7_migration_time.csv");
   bench::note("Expected shape: baselines grow with VM size (busy >> idle past "
               "host RAM); Agile flat once the VM exceeds host memory.");
+  bench::footer();
   return 0;
 }

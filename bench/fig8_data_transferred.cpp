@@ -7,6 +7,7 @@
 //
 // Shares (cached) runs with fig7_migration_time.
 #include "bench_common.hpp"
+#include "parallel_sweep.hpp"
 #include "single_vm_runner.hpp"
 
 using namespace agile;
@@ -14,27 +15,26 @@ using core::Technique;
 
 int main() {
   bench::banner("Figure 8: data transferred vs VM size");
-  const Technique techniques[] = {Technique::kPrecopy, Technique::kPostcopy,
-                                  Technique::kAgile};
+  std::vector<bench::SingleVmPoint> points = bench::single_vm_points();
+  bench::ParallelSweep sweep;
+  std::vector<bench::CachedRun> runs = sweep.map(points, bench::run_single_vm_point);
+
   metrics::Table table({"VM size (GB)", "busy", "technique",
                         "data transferred (MB)", "full pages", "descriptors"});
-  for (bool busy : {false, true}) {
-    for (Bytes size : bench::single_vm_sizes()) {
-      for (Technique technique : techniques) {
-        bench::CachedRun r = bench::run_single_vm(technique, size, busy);
-        const migration::MigrationMetrics& m = r.migration;
-        table.add_row(
-            {metrics::Table::num(to_gib(size), 1), busy ? "busy" : "idle",
-             core::technique_name(technique),
-             metrics::Table::num(to_mib(m.bytes_transferred), 0),
-             std::to_string(m.pages_sent_full),
-             std::to_string(m.pages_sent_descriptor)});
-      }
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const bench::SingleVmPoint& pt = points[i];
+    const migration::MigrationMetrics& m = runs[i].migration;
+    table.add_row(
+        {metrics::Table::num(to_gib(pt.size), 1), pt.busy ? "busy" : "idle",
+         core::technique_name(pt.technique),
+         metrics::Table::num(to_mib(m.bytes_transferred), 0),
+         std::to_string(m.pages_sent_full),
+         std::to_string(m.pages_sent_descriptor)});
   }
   std::printf("\n%s\n", table.to_string().c_str());
   table.write_csv(bench::out_dir() + "/fig8_data_transferred.csv");
   bench::note("Expected shape: baselines linear in VM size; Agile constant at "
               "~= the host-resident share once the VM exceeds host memory.");
+  bench::footer();
   return 0;
 }

@@ -25,6 +25,7 @@ int main() {
 
   const double horizon = quick ? 300 : 900;
   sc.bed->cluster().run_for_seconds(horizon);
+  bench::record_run(sc.bed->cluster().simulation().events_executed());
 
   const metrics::TimeSeries& res = sc.controller->reservation_series();
   const metrics::TimeSeries& rate = sc.controller->swap_rate_series();
@@ -52,5 +53,6 @@ int main() {
   metrics::write_series_csv(dir + "/fig9_wss_tracking.csv", {&res, &rate});
   bench::note("Expected shape: reservation decays from the 5 GB initial value "
               "to just above the ~1.7 GB working set, then holds.");
+  bench::footer();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "swap/swap_device.hpp"
 #include "util/bitmap.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "vmd/vmd.hpp"
 #include "vmd/vmd_swap_device.hpp"
 
@@ -124,6 +125,40 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// The periodic-reschedule path: the cluster quantum fires 10x per simulated
+// second, so re-arming must not allocate a closure per firing.
+void BM_EventQueuePeriodicFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t fires = 0;
+    auto task = sim.schedule_periodic(10, [&](SimTime) { ++fires; });
+    sim.run_until(10'000);
+    task->cancel();
+    benchmark::DoNotOptimize(fires);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueuePeriodicFire);
+
+// Sweep-pool dispatch overhead: submit/drain a batch of trivial tasks. The
+// bench suite's tasks are whole simulations, so anything under ~10 µs per
+// dispatch is invisible; this guards against pathological regressions.
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  util::ThreadPool pool(2);
+  for (auto _ : state) {
+    std::vector<std::future<int>> futures;
+    futures.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([i] { return i; }));
+    }
+    int sum = 0;
+    for (auto& f : futures) sum += f.get();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain);
 
 void BM_NetworkAdvanceManyFlows(benchmark::State& state) {
   net::Network net;

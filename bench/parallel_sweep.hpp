@@ -1,0 +1,61 @@
+// Parallel sweep execution for the bench suite.
+//
+// Every figure/table is a sweep of fully independent, deterministic
+// simulations — one `(technique, size, busy)` point or consolidation
+// scenario per run. `ParallelSweep` fans those points across a fixed
+// `util::ThreadPool` and hands results back in input order, so table
+// assembly is identical to the old serial loops. Each task constructs its
+// own `Simulation`/`Rng` (the scenario factories already do), which keeps
+// every point bit-deterministic regardless of scheduling order.
+//
+// With one job (AGILE_BENCH_JOBS=1) no pool is created and points run
+// inline on the calling thread — the exact serial behaviour, useful both as
+// the speedup baseline and for debugging.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace agile::bench {
+
+class ParallelSweep {
+ public:
+  explicit ParallelSweep(unsigned jobs = sweep_jobs()) : jobs_(jobs) {
+    if (jobs_ > 1) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+  }
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Runs `fn(point)` for every sweep point and returns the results in input
+  /// order. Blocks until the whole sweep finishes; a point that throws
+  /// rethrows here (after the remaining points were still executed).
+  template <typename Point, typename Fn>
+  auto map(const std::vector<Point>& points, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, const Point&>> {
+    using R = std::invoke_result_t<Fn&, const Point&>;
+    if (pool_ == nullptr) {
+      std::vector<R> results;
+      results.reserve(points.size());
+      for (const Point& p : points) results.push_back(fn(p));
+      return results;
+    }
+    std::vector<std::future<R>> futures;
+    futures.reserve(points.size());
+    for (const Point& p : points) {
+      futures.push_back(pool_->submit([&fn, &p] { return fn(p); }));
+    }
+    std::vector<R> results;
+    results.reserve(points.size());
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  }
+
+ private:
+  unsigned jobs_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace agile::bench

@@ -5,18 +5,36 @@
 // experiment is deterministic, so the first binary to need a run executes it
 // and records the outcome under AGILE_BENCH_OUT; the others reuse it. Set
 // AGILE_BENCH_FRESH=1 to ignore and rewrite the cache.
+//
+// Safe under the parallel sweep runner:
+//  * cache files are written to a temp name and atomically renamed into
+//    place, so a reader never observes a half-written entry;
+//  * `cached_run` memoizes in-process behind a mutex — if two tasks ask for
+//    the same key, the second blocks on the first's result instead of
+//    re-running the experiment;
+//  * entries carry a format-version tag; a missing tag, short read or
+//    garbled field counts as a miss (logged), never as partial metrics.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <cstring>
+#include <future>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "bench_common.hpp"
 #include "migration/migration.hpp"
+#include "util/log.hpp"
 
 namespace agile::bench {
+
+/// Bumped whenever the on-disk field list changes; older files read as
+/// corrupt and are discarded.
+inline constexpr const char* kCacheFormatTag = "agilecache.v2";
 
 struct CachedRun {
   migration::MigrationMetrics migration;
@@ -37,16 +55,22 @@ inline std::optional<CachedRun> load_cached(const std::string& key) {
   std::FILE* f = std::fopen(cache_path(key).c_str(), "r");
   if (f == nullptr) return std::nullopt;
   CachedRun r;
+  char tag[32] = {0};
   long long start = 0, swo = 0, end = 0, down = 0;
   unsigned long long bytes = 0, full = 0, desc = 0, demand = 0, swapin = 0,
                      dup = 0;
   unsigned rounds = 0;
   int completed = 0;
-  int n = std::fscanf(f, "%lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %lf",
-                      &start, &swo, &end, &down, &bytes, &full, &desc, &demand,
-                      &swapin, &dup, &rounds, &completed, &r.avg_perf);
+  int n = std::fscanf(f, "%31s %lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %lf",
+                      tag, &start, &swo, &end, &down, &bytes, &full, &desc,
+                      &demand, &swapin, &dup, &rounds, &completed, &r.avg_perf);
   std::fclose(f);
-  if (n != 13) return std::nullopt;
+  if (n != 14 || std::strcmp(tag, kCacheFormatTag) != 0) {
+    AGILE_LOG_WARN("bench cache: discarding corrupt entry '%s' (%s)",
+                   cache_path(key).c_str(),
+                   n != 14 ? "short/garbled read" : "format-version mismatch");
+    return std::nullopt;
+  }
   r.migration.start_time = start;
   r.migration.switchover_time = swo;
   r.migration.end_time = end;
@@ -63,10 +87,17 @@ inline std::optional<CachedRun> load_cached(const std::string& key) {
 }
 
 inline void store_cached(const std::string& key, const CachedRun& r) {
-  std::FILE* f = std::fopen(cache_path(key).c_str(), "w");
+  // Unique temp name per store, then an atomic rename: concurrent sweep
+  // workers never expose a torn file to another bench process.
+  static std::atomic<std::uint64_t> temp_seq{0};
+  std::string final_path = cache_path(key);
+  std::string temp_path =
+      final_path + ".tmp" + std::to_string(temp_seq.fetch_add(1));
+  std::FILE* f = std::fopen(temp_path.c_str(), "w");
   if (f == nullptr) return;
   const migration::MigrationMetrics& m = r.migration;
-  std::fprintf(f, "%lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %.17g\n",
+  std::fprintf(f, "%s %lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %.17g\n",
+               kCacheFormatTag,
                static_cast<long long>(m.start_time),
                static_cast<long long>(m.switchover_time),
                static_cast<long long>(m.end_time),
@@ -79,19 +110,55 @@ inline void store_cached(const std::string& key, const CachedRun& r) {
                static_cast<unsigned long long>(m.duplicate_pages),
                m.precopy_rounds, m.completed ? 1 : 0, r.avg_perf);
   std::fclose(f);
+  if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+  }
 }
 
-/// Runs `compute` unless a cached result for `key` exists.
+/// Runs `compute` unless a cached result for `key` exists. Concurrency-safe:
+/// the first caller per key computes (or reads the file); later callers —
+/// even on other pool workers — block on that result instead of re-running.
 template <typename Fn>
 CachedRun cached_run(const std::string& key, Fn&& compute) {
-  if (auto hit = load_cached(key)) {
-    note("  [" + key + "] from cache (AGILE_BENCH_FRESH=1 to rerun)");
-    return *hit;
+  static std::mutex mu;
+  static std::unordered_map<std::string, std::shared_future<CachedRun>> inflight;
+
+  std::promise<CachedRun> promise;
+  std::shared_future<CachedRun> shared;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = inflight.find(key);
+    if (it != inflight.end()) {
+      shared = it->second;
+    } else {
+      owner = true;
+      shared = promise.get_future().share();
+      inflight.emplace(key, shared);
+    }
   }
-  note("  [" + key + "] running...");
-  CachedRun r = compute();
-  store_cached(key, r);
-  return r;
+  if (!owner) {
+    note("  [" + key + "] joining in-flight run");
+    record_cached_run();
+    return shared.get();
+  }
+  try {
+    CachedRun r;
+    if (auto hit = load_cached(key)) {
+      note("  [" + key + "] from cache (AGILE_BENCH_FRESH=1 to rerun)");
+      record_cached_run();
+      r = *hit;
+    } else {
+      note("  [" + key + "] running...");
+      r = std::forward<Fn>(compute)();
+      store_cached(key, r);
+    }
+    promise.set_value(r);
+    return r;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    throw;
+  }
 }
 
 }  // namespace agile::bench

@@ -29,6 +29,7 @@ inline CachedRun run_single_vm(core::Technique technique, Bytes vm_memory,
     core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
     sc.prepare();
     sc.run_migration();
+    record_run(sc.bed->cluster().simulation().events_executed());
     CachedRun r;
     r.migration = sc.migration->metrics();
     return r;
@@ -38,6 +39,34 @@ inline CachedRun run_single_vm(core::Technique technique, Bytes vm_memory,
 inline std::vector<Bytes> single_vm_sizes() {
   if (quick_mode()) return {512_MiB, 1_GiB, 2_GiB};
   return {2_GiB, 4_GiB, 6_GiB, 8_GiB, 10_GiB, 12_GiB};
+}
+
+/// One Fig-7/8 sweep point. Figures iterate busy (outer), size, technique
+/// (inner); `single_vm_points` preserves that order so tables keep their
+/// historical row order.
+struct SingleVmPoint {
+  core::Technique technique;
+  Bytes size;
+  bool busy;
+};
+
+inline std::vector<SingleVmPoint> single_vm_points() {
+  const core::Technique techniques[] = {core::Technique::kPrecopy,
+                                        core::Technique::kPostcopy,
+                                        core::Technique::kAgile};
+  std::vector<SingleVmPoint> points;
+  for (bool busy : {false, true}) {
+    for (Bytes size : single_vm_sizes()) {
+      for (core::Technique technique : techniques) {
+        points.push_back({technique, size, busy});
+      }
+    }
+  }
+  return points;
+}
+
+inline CachedRun run_single_vm_point(const SingleVmPoint& pt) {
+  return run_single_vm(pt.technique, pt.size, pt.busy);
 }
 
 }  // namespace agile::bench

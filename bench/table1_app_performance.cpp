@@ -6,25 +6,28 @@
 //   Sysbench (trans/s):  pre-copy 59.84, post-copy 74.74, Agile 89.55
 #include "bench_common.hpp"
 #include "consolidation_runner.hpp"
+#include "parallel_sweep.hpp"
 
 using namespace agile;
-using core::Technique;
 namespace scen = core::scenarios;
 
 int main() {
   bench::banner("Table I: average application performance during migration");
-  const Technique techniques[] = {Technique::kPrecopy, Technique::kPostcopy,
-                                  Technique::kAgile};
+  std::vector<bench::ConsolidationPoint> points = bench::consolidation_points();
+  bench::ParallelSweep sweep;
+  std::vector<bench::ConsolidationRun> runs =
+      sweep.map(points, bench::run_consolidation_point);
+
   metrics::Table table(
       {"workload", "pre-copy", "post-copy", "agile", "paper (pre/post/agile)"});
-  for (scen::AppKind app : {scen::AppKind::kYcsb, scen::AppKind::kOltp}) {
+  for (std::size_t i = 0; i < points.size(); i += 3) {
+    scen::AppKind app = points[i].app;
     std::vector<std::string> row;
     row.push_back(app == scen::AppKind::kYcsb ? "YCSB/Redis (ops/s)"
                                               : "Sysbench (trans/s)");
-    for (Technique technique : techniques) {
-      bench::ConsolidationRun r = bench::run_consolidation(technique, app);
+    for (std::size_t j = 0; j < 3; ++j) {
       row.push_back(metrics::Table::num(
-          r.avg_perf, app == scen::AppKind::kYcsb ? 0 : 2));
+          runs[i + j].avg_perf, app == scen::AppKind::kYcsb ? 0 : 2));
     }
     row.push_back(app == scen::AppKind::kYcsb ? "7653 / 14926 / 17112"
                                               : "59.84 / 74.74 / 89.55");
@@ -33,5 +36,6 @@ int main() {
   std::printf("\n%s\n", table.to_string().c_str());
   table.write_csv(bench::out_dir() + "/table1_app_performance.csv");
   bench::note("Expected ordering: agile > post-copy > pre-copy on both rows.");
+  bench::footer();
   return 0;
 }

@@ -5,24 +5,28 @@
 //   Sysbench:   pre-copy 182.66, post-copy 157.56, Agile 80.37
 #include "bench_common.hpp"
 #include "consolidation_runner.hpp"
+#include "parallel_sweep.hpp"
 
 using namespace agile;
-using core::Technique;
 namespace scen = core::scenarios;
 
 int main() {
   bench::banner("Table II: total migration time (s)");
-  const Technique techniques[] = {Technique::kPrecopy, Technique::kPostcopy,
-                                  Technique::kAgile};
+  std::vector<bench::ConsolidationPoint> points = bench::consolidation_points();
+  bench::ParallelSweep sweep;
+  std::vector<bench::ConsolidationRun> runs =
+      sweep.map(points, bench::run_consolidation_point);
+
   metrics::Table table(
       {"workload", "pre-copy", "post-copy", "agile", "paper (pre/post/agile)"});
-  for (scen::AppKind app : {scen::AppKind::kYcsb, scen::AppKind::kOltp}) {
+  for (std::size_t i = 0; i < points.size(); i += 3) {
+    scen::AppKind app = points[i].app;
     std::vector<std::string> row;
     row.push_back(app == scen::AppKind::kYcsb ? "YCSB/Redis" : "Sysbench");
-    for (Technique technique : techniques) {
-      bench::ConsolidationRun r = bench::run_consolidation(technique, app);
-      row.push_back(r.migration.completed
-                        ? metrics::Table::num(to_seconds(r.migration.total_time()), 1)
+    for (std::size_t j = 0; j < 3; ++j) {
+      const migration::MigrationMetrics& m = runs[i + j].migration;
+      row.push_back(m.completed
+                        ? metrics::Table::num(to_seconds(m.total_time()), 1)
                         : "DNF");
     }
     row.push_back(app == scen::AppKind::kYcsb ? "470 / 247 / 108"
@@ -33,5 +37,6 @@ int main() {
   table.write_csv(bench::out_dir() + "/table2_migration_time.csv");
   bench::note("Expected ordering: agile fastest; pre-copy slowest (~4x agile "
               "on YCSB in the paper).");
+  bench::footer();
   return 0;
 }

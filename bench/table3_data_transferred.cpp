@@ -6,23 +6,27 @@
 //   Sysbench:   pre-copy 11298, post-copy 10268, Agile 7757
 #include "bench_common.hpp"
 #include "consolidation_runner.hpp"
+#include "parallel_sweep.hpp"
 
 using namespace agile;
-using core::Technique;
 namespace scen = core::scenarios;
 
 int main() {
   bench::banner("Table III: amount of data transferred (MB)");
-  const Technique techniques[] = {Technique::kPrecopy, Technique::kPostcopy,
-                                  Technique::kAgile};
+  std::vector<bench::ConsolidationPoint> points = bench::consolidation_points();
+  bench::ParallelSweep sweep;
+  std::vector<bench::ConsolidationRun> runs =
+      sweep.map(points, bench::run_consolidation_point);
+
   metrics::Table table(
       {"workload", "pre-copy", "post-copy", "agile", "paper (pre/post/agile)"});
-  for (scen::AppKind app : {scen::AppKind::kYcsb, scen::AppKind::kOltp}) {
+  for (std::size_t i = 0; i < points.size(); i += 3) {
+    scen::AppKind app = points[i].app;
     std::vector<std::string> row;
     row.push_back(app == scen::AppKind::kYcsb ? "YCSB/Redis" : "Sysbench");
-    for (Technique technique : techniques) {
-      bench::ConsolidationRun r = bench::run_consolidation(technique, app);
-      row.push_back(metrics::Table::num(to_mib(r.migration.bytes_transferred), 0));
+    for (std::size_t j = 0; j < 3; ++j) {
+      row.push_back(
+          metrics::Table::num(to_mib(runs[i + j].migration.bytes_transferred), 0));
     }
     row.push_back(app == scen::AppKind::kYcsb ? "15029 / 10268 / 8173"
                                               : "11298 / 10268 / 7757");
@@ -32,5 +36,6 @@ int main() {
   table.write_csv(bench::out_dir() + "/table3_data_transferred.csv");
   bench::note("Expected ordering: pre-copy most (retransmits), agile least "
               "(cold pages never cross the wire).");
+  bench::footer();
   return 0;
 }

@@ -7,9 +7,10 @@
 namespace agile::host {
 
 namespace {
-// Lets the logger print simulated time; only one Cluster is expected to be
-// live per process (tests create them sequentially).
-sim::Simulation* g_active_sim = nullptr;
+// Lets the logger print simulated time. Thread-local because the parallel
+// bench runner drives one Cluster per worker thread; each thread's log lines
+// carry its own cluster's virtual time.
+thread_local sim::Simulation* g_active_sim = nullptr;
 std::int64_t active_sim_now() { return g_active_sim ? g_active_sim->now() : 0; }
 }  // namespace
 

@@ -4,10 +4,22 @@
 
 namespace agile::sim {
 
+void Simulation::push_event(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
+}
+
+Simulation::Event Simulation::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
 EventId Simulation::schedule_at(SimTime t, EventFn fn) {
   AGILE_CHECK_MSG(t >= now_, "cannot schedule into the past");
   EventId id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  push_event(Event{t, next_seq_++, id, std::move(fn), nullptr});
   return id;
 }
 
@@ -21,46 +33,49 @@ bool Simulation::cancel(EventId id) {
   return true;
 }
 
+void Simulation::push_periodic(PeriodicTask* task, SimTime at) {
+  push_event(Event{at, next_seq_++, next_id_++, nullptr, task});
+}
+
 std::shared_ptr<PeriodicTask> Simulation::schedule_periodic(
     SimTime period, std::function<void(SimTime)> fn, SimTime first_delay) {
   AGILE_CHECK(period > 0);
   auto task = std::shared_ptr<PeriodicTask>(new PeriodicTask(period, std::move(fn)));
+  tasks_.push_back(task);
   SimTime delay = first_delay >= 0 ? first_delay : period;
-  schedule_at(now_ + delay, [this, task] {
-    if (!task->alive()) return;
-    task->fn_(now_);
-    reschedule_periodic(task);
-  });
+  push_periodic(task.get(), now_ + delay);
   return task;
 }
 
-void Simulation::reschedule_periodic(const std::shared_ptr<PeriodicTask>& task) {
-  schedule_at(now_ + task->period_, [this, task] {
-    if (!task->alive()) return;
-    task->fn_(now_);
-    reschedule_periodic(task);
-  });
-}
-
 void Simulation::purge_cancelled_top() {
-  while (!queue_.empty()) {
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), queue_.top().id);
+  while (!heap_.empty()) {
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), heap_.front().id);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
     --cancelled_pending_;
-    queue_.pop();
+    pop_event();
   }
 }
 
 bool Simulation::step() {
   purge_cancelled_top();
-  if (queue_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  Event ev = pop_event();
   AGILE_CHECK(ev.time >= now_);
   now_ = ev.time;
   ++events_executed_;
-  ev.fn();
+  if (ev.periodic != nullptr) {
+    PeriodicTask* task = ev.periodic;
+    if (task->alive()) {
+      task->fn_(now_);
+      // Re-arm after the callback (it may cancel the task or change the
+      // period); sequence numbering therefore matches the old closure-based
+      // implementation exactly.
+      if (task->alive()) push_periodic(task, now_ + task->period_);
+    }
+  } else {
+    ev.fn();
+  }
   return true;
 }
 
@@ -75,14 +90,14 @@ void Simulation::run_until(SimTime t) {
   stopped_ = false;
   while (!stopped_) {
     purge_cancelled_top();
-    if (queue_.empty() || queue_.top().time > t) break;
+    if (heap_.empty() || heap_.front().time > t) break;
     step();
   }
   if (!stopped_ && now_ < t) now_ = t;
 }
 
 std::size_t Simulation::pending_events() const {
-  return queue_.size() - cancelled_pending_;
+  return heap_.size() - cancelled_pending_;
 }
 
 }  // namespace agile::sim

@@ -6,7 +6,9 @@ namespace agile::log {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
-std::int64_t (*g_time_source)() = nullptr;
+// Thread-local: each sweep worker registers its own cluster's clock, so
+// concurrent simulations never race on (or misattribute) the time source.
+thread_local std::int64_t (*g_time_source)() = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {

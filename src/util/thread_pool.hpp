@@ -1,0 +1,70 @@
+// Fixed-size worker pool for fanning independent work across cores.
+//
+// Deliberately work-stealing-free: one FIFO queue guarded by a mutex. The
+// jobs this repo submits (whole simulation runs, seconds each) are far too
+// coarse for queue contention to matter, and a single queue keeps dispatch
+// order deterministic, which the bench suite relies on for stable progress
+// output. Results and exceptions travel through `std::future`: a task that
+// throws stores the exception and it rethrows from `future::get()` in the
+// submitter, never in the worker.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace agile::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (>= 1; defaults to hardware concurrency).
+  explicit ThreadPool(unsigned workers = default_workers());
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. Safe to call from
+  /// any thread, including from inside a running task.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    // std::function requires copyable callables, so the packaged_task (which
+    // is move-only) rides behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Hardware concurrency, floored at 1 (the spec allows 0 for "unknown").
+  static unsigned default_workers() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace agile::util

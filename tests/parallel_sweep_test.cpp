@@ -1,0 +1,171 @@
+// Parallel sweep execution: result ordering, run-cache concurrency safety,
+// and — the property everything rests on — bit-identical results whether a
+// sweep point runs serially or on a pool worker.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "parallel_sweep.hpp"
+#include "run_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace agile::bench {
+namespace {
+
+// Point the bench cache at a test-local directory and neutralize the mode
+// knobs before any test touches out_dir() (which latches on first use).
+const bool g_env_ready = [] {
+  ::setenv("AGILE_BENCH_OUT", "parallel_sweep_test_out", 1);
+  ::unsetenv("AGILE_BENCH_FRESH");
+  ::unsetenv("AGILE_BENCH_QUICK");
+  ::unsetenv("AGILE_BENCH_JOBS");
+  return true;
+}();
+
+TEST(ParallelSweep, MapPreservesInputOrder) {
+  ASSERT_TRUE(g_env_ready);
+  std::vector<int> points;
+  for (int i = 0; i < 100; ++i) points.push_back(i);
+  ParallelSweep sweep(4);
+  EXPECT_EQ(sweep.jobs(), 4u);
+  std::vector<int> doubled = sweep.map(points, [](const int& v) { return 2 * v; });
+  ASSERT_EQ(doubled.size(), points.size());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(doubled[static_cast<std::size_t>(i)], 2 * i);
+  }
+}
+
+TEST(ParallelSweep, SingleJobRunsInline) {
+  ParallelSweep sweep(1);
+  EXPECT_EQ(sweep.jobs(), 1u);
+  std::vector<int> points = {1, 2, 3};
+  std::vector<int> out = sweep.map(points, [](const int& v) { return v + 1; });
+  EXPECT_EQ(out, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(RunCache, ConcurrentSameKeyComputesOnce) {
+  std::remove(cache_path("test_once_key").c_str());  // drop prior-run state
+  std::atomic<int> computed{0};
+  auto compute = [&computed] {
+    computed.fetch_add(1);
+    CachedRun r;
+    r.migration.bytes_transferred = 12345;
+    r.avg_perf = 6.5;
+    return r;
+  };
+  util::ThreadPool pool(4);
+  std::vector<std::future<CachedRun>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(
+        pool.submit([&] { return cached_run("test_once_key", compute); }));
+  }
+  for (auto& f : futures) {
+    CachedRun r = f.get();
+    EXPECT_EQ(r.migration.bytes_transferred, 12345u);
+    EXPECT_DOUBLE_EQ(r.avg_perf, 6.5);
+  }
+  EXPECT_EQ(computed.load(), 1);
+}
+
+TEST(RunCache, RoundTripsThroughDisk) {
+  CachedRun r;
+  r.migration.start_time = 100;
+  r.migration.switchover_time = 200;
+  r.migration.end_time = 321;
+  r.migration.downtime = 17;
+  r.migration.bytes_transferred = 1_GiB;
+  r.migration.pages_sent_full = 11;
+  r.migration.pages_sent_descriptor = 22;
+  r.migration.pages_demand_served = 33;
+  r.migration.pages_swapped_in_at_source = 44;
+  r.migration.duplicate_pages = 55;
+  r.migration.precopy_rounds = 3;
+  r.migration.completed = true;
+  r.avg_perf = 123.456;
+  store_cached("test_roundtrip", r);
+
+  auto loaded = load_cached("test_roundtrip");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->migration.start_time, r.migration.start_time);
+  EXPECT_EQ(loaded->migration.end_time, r.migration.end_time);
+  EXPECT_EQ(loaded->migration.bytes_transferred, r.migration.bytes_transferred);
+  EXPECT_EQ(loaded->migration.precopy_rounds, r.migration.precopy_rounds);
+  EXPECT_EQ(loaded->migration.completed, r.migration.completed);
+  EXPECT_DOUBLE_EQ(loaded->avg_perf, r.avg_perf);
+}
+
+TEST(RunCache, GarbledEntryIsAMissNotPartialMetrics) {
+  std::FILE* f = std::fopen(cache_path("test_garbled").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "%s 100 200", kCacheFormatTag);  // truncated field list
+  std::fclose(f);
+  EXPECT_FALSE(load_cached("test_garbled").has_value());
+}
+
+TEST(RunCache, FormatVersionMismatchIsAMiss) {
+  std::FILE* f = std::fopen(cache_path("test_oldformat").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  // The seed's untagged v1 layout: 13 numeric fields, no tag.
+  std::fprintf(f, "0 1 2 3 4 5 6 7 8 9 1 1 2.5\n");
+  std::fclose(f);
+  EXPECT_FALSE(load_cached("test_oldformat").has_value());
+}
+
+// The tentpole determinism guarantee: a Fig-7 sweep point produces identical
+// MigrationMetrics whether it runs serially or through ParallelSweep, since
+// every task owns its Simulation and Rng streams.
+TEST(ParallelSweep, SingleVmPointDeterministicAcrossScheduling) {
+  auto run_point = [](const core::Technique& technique) {
+    core::scenarios::SingleVmOptions opt;
+    opt.technique = technique;
+    opt.host_ram = 1_GiB;
+    opt.vm_memory = 512_MiB;
+    opt.busy = true;
+    opt.guest_os = 32_MiB;
+    opt.free_margin = 64_MiB;
+    core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
+    sc.prepare();
+    sc.run_migration();
+    return sc.migration->metrics();
+  };
+
+  std::vector<core::Technique> points = {core::Technique::kPrecopy,
+                                         core::Technique::kPostcopy,
+                                         core::Technique::kAgile};
+  std::vector<migration::MigrationMetrics> serial;
+  serial.reserve(points.size());
+  for (const core::Technique& t : points) serial.push_back(run_point(t));
+
+  ParallelSweep sweep(4);
+  std::vector<migration::MigrationMetrics> pooled = sweep.map(points, run_point);
+
+  ASSERT_EQ(pooled.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const migration::MigrationMetrics& a = serial[i];
+    const migration::MigrationMetrics& b = pooled[i];
+    EXPECT_EQ(a.start_time, b.start_time) << "point " << i;
+    EXPECT_EQ(a.switchover_time, b.switchover_time) << "point " << i;
+    EXPECT_EQ(a.end_time, b.end_time) << "point " << i;
+    EXPECT_EQ(a.downtime, b.downtime) << "point " << i;
+    EXPECT_EQ(a.bytes_transferred, b.bytes_transferred) << "point " << i;
+    EXPECT_EQ(a.bytes_from_swap_device, b.bytes_from_swap_device) << "point " << i;
+    EXPECT_EQ(a.bytes_scattered, b.bytes_scattered) << "point " << i;
+    EXPECT_EQ(a.pages_sent_full, b.pages_sent_full) << "point " << i;
+    EXPECT_EQ(a.pages_sent_descriptor, b.pages_sent_descriptor) << "point " << i;
+    EXPECT_EQ(a.pages_demand_served, b.pages_demand_served) << "point " << i;
+    EXPECT_EQ(a.pages_swap_faulted, b.pages_swap_faulted) << "point " << i;
+    EXPECT_EQ(a.pages_swapped_in_at_source, b.pages_swapped_in_at_source)
+        << "point " << i;
+    EXPECT_EQ(a.duplicate_pages, b.duplicate_pages) << "point " << i;
+    EXPECT_EQ(a.precopy_rounds, b.precopy_rounds) << "point " << i;
+    EXPECT_EQ(a.completed, b.completed) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace agile::bench

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace agile::util {
+namespace {
+
+TEST(ThreadPool, DefaultWorkersAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, FuturesCarryResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ConcurrentSubmitFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 200;
+  std::atomic<int> executed{0};
+  std::mutex mu;
+  std::vector<std::future<void>> futures;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        auto f = pool.submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+        std::lock_guard<std::mutex> lock(mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPool, SubmitFromInsideTask) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 41; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+  }  // destructor runs every queued task, then joins
+  EXPECT_EQ(executed.load(), 64);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+}  // namespace
+}  // namespace agile::util
