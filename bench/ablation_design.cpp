@@ -206,6 +206,6 @@ int main() {
                 "unaffected; cold reads slow down:\n%s",
                 t.to_string().c_str());
   }
-  bench::footer();
+  bench::footer("ablation_design");
   return 0;
 }

@@ -93,12 +93,17 @@ inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
 /// Timing footer; every bench prints this last.
 /// Format: `[timing] wall 3.21 s | jobs 4 | runs 36 (+2 cached) | 45123456
 /// sim events | 14.1M events/s`.
-inline void footer() {
+/// When `name` is non-empty, the same numbers are mirrored machine-readably
+/// to `<out_dir>/BENCH_<name>.json` so CI can diff sweep throughput across
+/// commits without scraping stdout.
+inline void footer(const std::string& name = "") {
   const SweepStats& s = sweep_stats();
   double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                               s.wall_start)
                     .count();
   std::uint64_t events = s.sim_events.load(std::memory_order_relaxed);
+  std::uint64_t executed = s.runs_executed.load(std::memory_order_relaxed);
+  std::uint64_t cached = s.runs_cached.load(std::memory_order_relaxed);
   double rate = wall > 0 ? static_cast<double>(events) / wall : 0;
   char rate_str[32];
   if (rate >= 1e6) {
@@ -109,12 +114,29 @@ inline void footer() {
   std::printf(
       "[timing] wall %.2f s | jobs %u | runs %llu (+%llu cached) | "
       "%llu sim events | %s events/s\n",
-      wall, sweep_jobs(),
-      static_cast<unsigned long long>(
-          s.runs_executed.load(std::memory_order_relaxed)),
-      static_cast<unsigned long long>(
-          s.runs_cached.load(std::memory_order_relaxed)),
+      wall, sweep_jobs(), static_cast<unsigned long long>(executed),
+      static_cast<unsigned long long>(cached),
       static_cast<unsigned long long>(events), rate_str);
+  if (name.empty()) return;
+  std::string path = out_dir() + "/BENCH_" + name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"quick\": %s,\n"
+                 "  \"wall_seconds\": %.3f,\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"runs_executed\": %llu,\n"
+                 "  \"runs_cached\": %llu,\n"
+                 "  \"sim_events\": %llu,\n"
+                 "  \"events_per_sec\": %.0f\n"
+                 "}\n",
+                 name.c_str(), quick_mode() ? "true" : "false", wall,
+                 sweep_jobs(), static_cast<unsigned long long>(executed),
+                 static_cast<unsigned long long>(cached),
+                 static_cast<unsigned long long>(events), rate);
+    std::fclose(f);
+  }
 }
 
 }  // namespace agile::bench

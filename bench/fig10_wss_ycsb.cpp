@@ -55,6 +55,6 @@ int main() {
   metrics::write_series_csv(bench::out_dir() + "/fig10_wss_ycsb.csv", {&tput});
   bench::note("Expected shape: throughput near baseline with brief dips right "
               "after reservation shrinks; quick recovery each time.");
-  bench::footer();
+  bench::footer("fig10_wss_ycsb");
   return 0;
 }

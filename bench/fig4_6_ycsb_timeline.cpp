@@ -104,6 +104,6 @@ int main() {
   bench::note("Paper reference: migration time 470/247/108 s; recovery to 90% "
               "533/294/215 s (pre/post/agile).");
   bench::note("CSV series written to " + dir);
-  bench::footer();
+  bench::footer("fig4_6_ycsb_timeline");
   return 0;
 }

@@ -38,6 +38,6 @@ int main() {
   table.write_csv(bench::out_dir() + "/fig7_migration_time.csv");
   bench::note("Expected shape: baselines grow with VM size (busy >> idle past "
               "host RAM); Agile flat once the VM exceeds host memory.");
-  bench::footer();
+  bench::footer("fig7_migration_time");
   return 0;
 }

@@ -35,6 +35,6 @@ int main() {
   table.write_csv(bench::out_dir() + "/fig8_data_transferred.csv");
   bench::note("Expected shape: baselines linear in VM size; Agile constant at "
               "~= the host-resident share once the VM exceeds host memory.");
-  bench::footer();
+  bench::footer("fig8_data_transferred");
   return 0;
 }

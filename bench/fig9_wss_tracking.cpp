@@ -53,6 +53,6 @@ int main() {
   metrics::write_series_csv(dir + "/fig9_wss_tracking.csv", {&res, &rate});
   bench::note("Expected shape: reservation decays from the 5 GB initial value "
               "to just above the ~1.7 GB working set, then holds.");
-  bench::footer();
+  bench::footer("fig9_wss_tracking");
   return 0;
 }

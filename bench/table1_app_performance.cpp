@@ -36,6 +36,6 @@ int main() {
   std::printf("\n%s\n", table.to_string().c_str());
   table.write_csv(bench::out_dir() + "/table1_app_performance.csv");
   bench::note("Expected ordering: agile > post-copy > pre-copy on both rows.");
-  bench::footer();
+  bench::footer("table1_app_performance");
   return 0;
 }

@@ -37,6 +37,6 @@ int main() {
   table.write_csv(bench::out_dir() + "/table2_migration_time.csv");
   bench::note("Expected ordering: agile fastest; pre-copy slowest (~4x agile "
               "on YCSB in the paper).");
-  bench::footer();
+  bench::footer("table2_migration_time");
   return 0;
 }

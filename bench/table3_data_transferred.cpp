@@ -36,6 +36,6 @@ int main() {
   table.write_csv(bench::out_dir() + "/table3_data_transferred.csv");
   bench::note("Expected ordering: pre-copy most (retransmits), agile least "
               "(cold pages never cross the wire).");
-  bench::footer();
+  bench::footer("table3_data_transferred");
   return 0;
 }

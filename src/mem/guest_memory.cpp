@@ -20,10 +20,11 @@ GuestMemory::GuestMemory(const GuestMemoryConfig& config,
   AGILE_CHECK(swap_ != nullptr);
   AGILE_CHECK(config_.eviction_samples > 0);
   state_.assign(page_count_, static_cast<std::uint8_t>(PageState::kUntouched));
-  last_access_.assign(page_count_, 0);
   slot_.assign(page_count_, swap::kNoSlot);
   swap_copy_clean_.reset(page_count_, false);
-  resident_pos_.assign(page_count_, kNoPos);
+  touched_.reset(page_count_, false);
+  swapped_.reset(page_count_, false);
+  page_lru_.assign(page_count_, PageLru{kNoPos, 0});
   resident_.reserve(std::min<std::uint64_t>(page_count_, reservation_pages_ + 1));
 }
 
@@ -33,18 +34,11 @@ void GuestMemory::set_swap_device(swap::SwapDevice* device) {
 }
 
 std::uint64_t GuestMemory::untouched_pages() const {
-  return page_count_ - resident_.size() - swapped_count_ - remote_count_;
+  return page_count_ - touched_.count();
 }
 
-SimTime GuestMemory::touch(PageIndex p, bool write, std::uint32_t tick) {
-  AGILE_CHECK(p < page_count_);
+SimTime GuestMemory::touch_slow(PageIndex p, bool write, std::uint32_t tick) {
   auto st = static_cast<PageState>(state_[p]);
-  // Resident read is by far the hottest case (hundreds of millions per
-  // paper-scale run): one state load, one LRU-stamp store, out.
-  if (st == PageState::kResident && !write) {
-    last_access_[p] = tick;
-    return 0;
-  }
   AGILE_CHECK_MSG(st != PageState::kRemote,
                   "kRemote access must go through the migration fault engine");
   SimTime latency = 0;
@@ -60,7 +54,7 @@ SimTime GuestMemory::touch(PageIndex p, bool write, std::uint32_t tick) {
       ++stats_.major_faults;
       ++stats_.swap_ins;
       latency = swap_->read_page(slot_[p]);
-      --swapped_count_;
+      swapped_.clear(p);
       make_resident(p, tick);
       // The swap slot now caches a clean copy (swap cache semantics).
       swap_copy_clean_.set(p);
@@ -69,7 +63,7 @@ SimTime GuestMemory::touch(PageIndex p, bool write, std::uint32_t tick) {
     case PageState::kRemote:
       break;  // unreachable
   }
-  last_access_[p] = tick;
+  stamp_access(p, tick);
   if (write) {
     if (slot_[p] != swap::kNoSlot) {
       // Contents diverge from the swap copy; drop the swap-cache entry.
@@ -107,9 +101,8 @@ SimTime GuestMemory::swap_in_for_transfer(PageIndex p, std::uint32_t tick,
   ++stats_.swap_ins;
   SimTime latency = sequential ? swap_->read_page_sequential(slot_[p])
                                : swap_->read_page(slot_[p]);
-  --swapped_count_;
+  swapped_.clear(p);
   make_resident(p, tick);
-  last_access_[p] = tick;
   swap_copy_clean_.set(p);  // read-only: swap copy stays valid
   return latency;
 }
@@ -130,20 +123,22 @@ void GuestMemory::release_page(PageIndex p) {
     case PageState::kSwapped:
       // Cold page: the copy on the (possibly portable) swap device survives;
       // whoever owns the namespace decides when slots die.
-      --swapped_count_;
+      swapped_.clear(p);
       break;
     case PageState::kRemote:
       return;  // already gone
   }
   state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
+  touched_.set(p);
   ++remote_count_;
 }
 
 void GuestMemory::mark_all_remote() {
-  AGILE_CHECK_MSG(resident_.empty() && swapped_count_ == 0,
+  AGILE_CHECK_MSG(resident_.empty() && swapped_.none(),
                   "mark_all_remote expects a fresh destination memory");
   std::fill(state_.begin(), state_.end(),
             static_cast<std::uint8_t>(PageState::kRemote));
+  touched_.set_all();
   remote_count_ = page_count_;
 }
 
@@ -153,7 +148,6 @@ void GuestMemory::install_resident(PageIndex p, std::uint32_t tick) {
   --remote_count_;
   ++stats_.remote_installs;
   make_resident(p, tick);
-  last_access_[p] = tick;
 }
 
 void GuestMemory::install_swapped(PageIndex p, swap::SwapSlot s) {
@@ -165,14 +159,32 @@ void GuestMemory::install_swapped(PageIndex p, swap::SwapSlot s) {
   state_[p] = static_cast<std::uint8_t>(PageState::kSwapped);
   slot_[p] = s;
   swap_copy_clean_.set(p);
-  ++swapped_count_;
+  swapped_.set(p);
+  touched_.set(p);
 }
 
 void GuestMemory::install_untouched(PageIndex p) {
   AGILE_CHECK(p < page_count_);
   AGILE_CHECK_MSG(state(p) == PageState::kRemote, "double install");
+  AGILE_CHECK(slot_[p] == swap::kNoSlot);
   --remote_count_;
   state_[p] = static_cast<std::uint8_t>(PageState::kUntouched);
+  touched_.clear(p);
+}
+
+void GuestMemory::install_untouched_range(PageIndex begin, PageIndex end) {
+  AGILE_CHECK(begin <= end && end <= page_count_);
+  for (PageIndex p = begin; p < end; ++p) {
+    if (state(p) == PageState::kRemote) install_untouched(p);
+  }
+}
+
+void GuestMemory::install_swapped_batch(PageIndex first,
+                                        std::span<const swap::SwapSlot> slots) {
+  AGILE_CHECK(first + slots.size() <= page_count_);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    install_swapped(first + i, slots[i]);
+  }
 }
 
 void GuestMemory::receive_overwrite(PageIndex p, std::uint32_t tick) {
@@ -184,20 +196,27 @@ void GuestMemory::receive_overwrite(PageIndex p, std::uint32_t tick) {
     case PageState::kResident:
       break;
     case PageState::kSwapped:
-      --swapped_count_;
+      swapped_.clear(p);
       make_resident(p, tick);
       break;
     case PageState::kUntouched:
       make_resident(p, tick);
       return;  // fresh page, no slot possible
   }
-  last_access_[p] = tick;
+  stamp_access(p, tick);
   if (slot_[p] != swap::kNoSlot) {
     // The incoming copy supersedes the swap copy.
     swap_->free_slot(slot_[p]);
     slot_[p] = swap::kNoSlot;
     swap_copy_clean_.clear(p);
   }
+}
+
+void GuestMemory::receive_overwrite_range(PageIndex begin, PageIndex end,
+                                          std::uint32_t tick) {
+  AGILE_CHECK(begin <= end && end <= page_count_);
+  // Ascending order matters: each install may evict under the reservation.
+  for (PageIndex p = begin; p < end; ++p) receive_overwrite(p, tick);
 }
 
 void GuestMemory::invalidate_to_remote(PageIndex p, bool free_slot) {
@@ -209,7 +228,7 @@ void GuestMemory::invalidate_to_remote(PageIndex p, bool free_slot) {
       remove_from_resident(p);
       break;
     case PageState::kSwapped:
-      --swapped_count_;
+      swapped_.clear(p);
       break;
     case PageState::kUntouched:
       break;
@@ -220,72 +239,73 @@ void GuestMemory::invalidate_to_remote(PageIndex p, bool free_slot) {
     swap_copy_clean_.clear(p);
   }
   state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
+  touched_.set(p);
   ++remote_count_;
 }
 
+void GuestMemory::invalidate_range_to_remote(PageIndex begin, PageIndex end,
+                                             bool free_slot) {
+  AGILE_CHECK(begin <= end && end <= page_count_);
+  for (PageIndex p = begin; p < end; ++p) invalidate_to_remote(p, free_slot);
+}
+
 void GuestMemory::teardown(bool free_slots) {
-  for (PageIndex p = 0; p < page_count_; ++p) {
-    switch (state(p)) {
-      case PageState::kResident:
-        remove_from_resident(p);
-        break;
-      case PageState::kSwapped:
-        --swapped_count_;
-        break;
-      case PageState::kUntouched:
-      case PageState::kRemote:
-        break;
-    }
-    if (state(p) != PageState::kRemote) {
-      state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
-      ++remote_count_;
-    }
-    if (free_slots && slot_[p] != swap::kNoSlot) {
-      swap_->free_slot(slot_[p]);
-      slot_[p] = swap::kNoSlot;
-      swap_copy_clean_.clear(p);
+  // Per-page work only exists for touched pages: untouched pages hold no
+  // frame and no slot. Word-scan the touched runs, then cover the whole state
+  // array (untouched spans included) with one bulk fill.
+  for (Bitmap::Run run = touched_.next_set_run(0); !run.empty();
+       run = touched_.next_set_run(run.end)) {
+    for (PageIndex p = run.begin; p < run.end; ++p) {
+      if (state(p) == PageState::kResident) remove_from_resident(p);
+      if (free_slots && slot_[p] != swap::kNoSlot) {
+        swap_->free_slot(slot_[p]);
+        slot_[p] = swap::kNoSlot;
+        swap_copy_clean_.clear(p);
+      }
     }
   }
+  std::fill(state_.begin(), state_.end(),
+            static_cast<std::uint8_t>(PageState::kRemote));
+  remote_count_ = page_count_;
+  touched_.set_all();
+  swapped_.clear_all();
 }
 
 void GuestMemory::make_resident(PageIndex p, std::uint32_t tick) {
   AGILE_CHECK(state(p) != PageState::kResident);
   while (resident_.size() >= reservation_pages_) evict_one();
   state_[p] = static_cast<std::uint8_t>(PageState::kResident);
-  resident_pos_[p] = static_cast<std::uint32_t>(resident_.size());
-  resident_.push_back(static_cast<std::uint32_t>(p));
-  last_access_[p] = tick;
+  touched_.set(p);
+  page_lru_[p] = PageLru{static_cast<std::uint32_t>(resident_.size()), tick};
+  resident_.push_back(ResidentEntry{static_cast<std::uint32_t>(p), tick});
 }
 
 void GuestMemory::remove_from_resident(PageIndex p) {
-  std::uint32_t pos = resident_pos_[p];
+  std::uint32_t pos = page_lru_[p].pos;
   AGILE_CHECK(pos != kNoPos);
-  std::uint32_t last = resident_.back();
+  ResidentEntry last = resident_.back();
   resident_[pos] = last;
-  resident_pos_[last] = pos;
+  page_lru_[last.page].pos = pos;
   resident_.pop_back();
-  resident_pos_[p] = kNoPos;
+  page_lru_[p].pos = kNoPos;
 }
 
 PageIndex GuestMemory::pick_victim() {
   AGILE_CHECK(!resident_.empty());
-  // Sampled-LRU inner loop: hoist the table pointers and the current best's
-  // stamp into locals so each sample costs two indexed loads, not four.
-  const std::uint32_t* const resident = resident_.data();
-  const std::uint32_t* const last_access = last_access_.data();
+  // Sampled-LRU inner loop: each sample reads one packed {page, stamp}
+  // entry — a single random cache line — instead of chasing the page index
+  // through the (equally cold) per-page stamp table. The draw order and the
+  // first-minimum-wins reduction match the unpacked loop, so the RNG stream
+  // and the chosen victim are identical.
+  const ResidentEntry* const entries = resident_.data();
   const std::uint64_t n = resident_.size();
   const std::uint32_t samples = config_.eviction_samples;
-  PageIndex best = resident[rng_.next_below(n)];
-  std::uint32_t best_access = last_access[best];
+  ResidentEntry best = entries[rng_.next_below(n)];
   for (std::uint32_t i = 1; i < samples; ++i) {
-    PageIndex cand = resident[rng_.next_below(n)];
-    std::uint32_t cand_access = last_access[cand];
-    if (cand_access < best_access) {
-      best = cand;
-      best_access = cand_access;
-    }
+    ResidentEntry cand = entries[rng_.next_below(n)];
+    if (cand.stamp < best.stamp) best = cand;
   }
-  return best;
+  return best.page;
 }
 
 void GuestMemory::evict_page(PageIndex p) {
@@ -301,7 +321,7 @@ void GuestMemory::evict_page(PageIndex p) {
     ++stats_.swap_outs;
   }
   state_[p] = static_cast<std::uint8_t>(PageState::kSwapped);
-  ++swapped_count_;
+  swapped_.set(p);
 }
 
 void GuestMemory::evict_one() { evict_page(pick_victim()); }
@@ -309,10 +329,13 @@ void GuestMemory::evict_one() { evict_page(pick_victim()); }
 std::uint64_t GuestMemory::true_working_set_pages(
     std::uint32_t now_tick, std::uint32_t window_ticks) const {
   std::uint64_t count = 0;
-  for (PageIndex p = 0; p < page_count_; ++p) {
-    auto st = static_cast<PageState>(state_[p]);
-    if (st == PageState::kUntouched) continue;
-    if (now_tick - last_access_[p] <= window_ticks) ++count;
+  // Only touched pages can have a meaningful access stamp; skip untouched
+  // spans word-at-a-time instead of testing every page.
+  for (Bitmap::Run run = touched_.next_set_run(0); !run.empty();
+       run = touched_.next_set_run(run.end)) {
+    for (PageIndex p = run.begin; p < run.end; ++p) {
+      if (now_tick - page_lru_[p].stamp <= window_ticks) ++count;
+    }
   }
   return count;
 }
@@ -320,28 +343,36 @@ std::uint64_t GuestMemory::true_working_set_pages(
 void GuestMemory::check_consistency() const {
   std::uint64_t resident = 0, swapped = 0, remote = 0;
   for (PageIndex p = 0; p < page_count_; ++p) {
-    switch (static_cast<PageState>(state_[p])) {
+    const auto st = static_cast<PageState>(state_[p]);
+    switch (st) {
       case PageState::kResident:
         ++resident;
-        AGILE_CHECK(resident_pos_[p] != kNoPos);
-        AGILE_CHECK(resident_[resident_pos_[p]] == p);
+        AGILE_CHECK(page_lru_[p].pos != kNoPos);
+        AGILE_CHECK(resident_[page_lru_[p].pos].page == p);
+        AGILE_CHECK(resident_[page_lru_[p].pos].stamp == page_lru_[p].stamp);
         break;
       case PageState::kSwapped:
         ++swapped;
         AGILE_CHECK(slot_[p] != swap::kNoSlot);
-        AGILE_CHECK(resident_pos_[p] == kNoPos);
+        AGILE_CHECK(page_lru_[p].pos == kNoPos);
         break;
       case PageState::kUntouched:
+        AGILE_CHECK(slot_[p] == swap::kNoSlot);
+        AGILE_CHECK(page_lru_[p].pos == kNoPos);
+        break;
       case PageState::kRemote:
-        if (static_cast<PageState>(state_[p]) == PageState::kRemote) ++remote;
-        AGILE_CHECK(resident_pos_[p] == kNoPos);
+        ++remote;
+        AGILE_CHECK(page_lru_[p].pos == kNoPos);
         break;
     }
+    AGILE_CHECK(touched_.test(p) == (st != PageState::kUntouched));
+    AGILE_CHECK(swapped_.test(p) == (st == PageState::kSwapped));
     if (swap_copy_clean_.test(p)) AGILE_CHECK(slot_[p] != swap::kNoSlot);
   }
   AGILE_CHECK(resident == resident_.size());
-  AGILE_CHECK(swapped == swapped_count_);
+  AGILE_CHECK(swapped == swapped_.count());
   AGILE_CHECK(remote == remote_count_);
+  AGILE_CHECK(page_count_ - touched_.count() == untouched_pages());
 }
 
 }  // namespace agile::mem

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "swap/swap_device.hpp"
@@ -72,9 +73,30 @@ class GuestMemory {
 
   std::uint64_t resident_pages() const { return resident_.size(); }
   Bytes resident_bytes() const { return resident_.size() * kPageSize; }
-  std::uint64_t swapped_pages() const { return swapped_count_; }
+  std::uint64_t swapped_pages() const { return swapped_.count(); }
   std::uint64_t untouched_pages() const;
   std::uint64_t remote_pages() const { return remote_count_; }
+
+  /// Pages currently kSwapped, maintained on every state transition. The
+  /// scatter-gather gatherer and slot-handoff sweeps run-scan this instead of
+  /// walking the state array page by page.
+  const Bitmap& swapped_bitmap() const { return swapped_; }
+
+  /// Pages that ever left kUntouched (equivalently: state != kUntouched).
+  /// Word-scanning this keeps teardown and WSS probes O(touched) even on
+  /// mostly-untouched memories.
+  const Bitmap& touched_bitmap() const { return touched_; }
+
+  /// End of the maximal run of pages sharing page `p`'s state, capped at
+  /// `limit`: every page in [p, result) has state(p). The senders use this to
+  /// coalesce contiguous same-class pages into one wire message.
+  PageIndex state_run_end(PageIndex p, PageIndex limit) const {
+    AGILE_CHECK(p < limit && limit <= page_count_);
+    const std::uint8_t cls = state_[p];
+    PageIndex q = p + 1;
+    while (q < limit && state_[q] == cls) ++q;
+    return q;
+  }
 
   swap::SwapDevice* swap_device() const { return swap_; }
   void set_swap_device(swap::SwapDevice* device);
@@ -84,7 +106,21 @@ class GuestMemory {
   /// Guest touches page `p` at LRU clock `tick`. Returns the fault latency to
   /// charge the access (0 for the resident fast path). Must not be called on
   /// kRemote pages — the VM layer routes those to the fault engine.
-  SimTime touch(PageIndex p, bool write, std::uint32_t tick);
+  /// Defined inline: this is the single hottest call in the simulator
+  /// (hundreds of millions per paper-scale sweep), and the resident cases
+  /// reduce to a handful of loads and stores.
+  SimTime touch(PageIndex p, bool write, std::uint32_t tick) {
+    AGILE_CHECK(p < page_count_);
+    if (static_cast<PageState>(state_[p]) == PageState::kResident) {
+      stamp_access(p, tick);
+      if (!write) return 0;
+      if (slot_[p] == swap::kNoSlot) {
+        if (dirty_log_ != nullptr) dirty_log_->set(p);
+        return 0;
+      }
+    }
+    return touch_slow(p, write, tick);
+  }
 
   /// Touch pages [0, n) as writes (dataset load / boot-time pre-fill). Obeys
   /// the reservation, so the tail ends up swapped once the reservation fills.
@@ -148,16 +184,33 @@ class GuestMemory {
   /// Destination side: page is untouched/zero at the source; no data needed.
   void install_untouched(PageIndex p);
 
+  /// Range form for descriptor runs: installs every still-kRemote page in
+  /// [begin, end) as untouched; pages already installed (a demand fault beat
+  /// the descriptor) are left alone.
+  void install_untouched_range(PageIndex begin, PageIndex end);
+
+  /// Destination side (Agile): a run of SWAPPED descriptors arrived — pages
+  /// [first, first + slots.size()) live at `slots[i]` on the per-VM device.
+  void install_swapped_batch(PageIndex first,
+                             std::span<const swap::SwapSlot> slots);
+
   /// Destination side, pre-copy: a wire copy of the page replaces whatever
   /// this memory currently holds (later rounds legitimately resend pages the
   /// destination may have even swapped out meanwhile).
   void receive_overwrite(PageIndex p, std::uint32_t tick);
 
+  /// Range form for full-copy runs: overwrite-installs [begin, end) in
+  /// ascending order (order matters — installs may evict under the
+  /// reservation).
+  void receive_overwrite_range(PageIndex begin, PageIndex end,
+                               std::uint32_t tick);
+
   /// Source-side teardown after migration completes: drops every frame and —
   /// when `free_slots` — releases all swap slots (baseline semantics: the
   /// host-level swap space is reclaimed once the VM has left). Agile keeps
   /// the cold pages' slots alive on the portable device and reconciles them
-  /// separately.
+  /// separately. Per-page work is O(touched): untouched spans are covered by
+  /// one bulk state fill.
   void teardown(bool free_slots);
 
   /// Destination side, Agile switchover: page `p` was installed during the
@@ -168,13 +221,19 @@ class GuestMemory {
   /// freed it when the guest wrote to the page).
   void invalidate_to_remote(PageIndex p, bool free_slot);
 
+  /// Range form for the post-flip invalidation sweep: drops every page in
+  /// [begin, end) back to kRemote with a uniform `free_slot` policy (the
+  /// caller splits runs on slot-ownership boundaries).
+  void invalidate_range_to_remote(PageIndex begin, PageIndex end,
+                                  bool free_slot);
+
   /// Source side, Agile: slot ownership for page `p` has passed to the
   /// destination's memory. Forgets the slot here without freeing it on the
   /// (shared, portable) device; a still-swapped page transitions to kRemote.
   void forget_slot(PageIndex p) {
     AGILE_CHECK(p < page_count_);
     if (state(p) == PageState::kSwapped) {
-      --swapped_count_;
+      swapped_.clear(p);
       state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
       ++remote_count_;
     }
@@ -185,8 +244,9 @@ class GuestMemory {
   const MemStats& stats() const { return stats_; }
 
   /// Ground-truth working set: pages accessed in the last `window_ticks`
-  /// relative to `now_tick`. O(page_count); used by the WSS benches, not by
-  /// any simulated component.
+  /// relative to `now_tick`. Word-scans the touched bitmap, so idle VMs with
+  /// mostly-untouched memory pay O(touched), not O(page_count). Used by the
+  /// WSS benches, not by any simulated component.
   std::uint64_t true_working_set_pages(std::uint32_t now_tick,
                                        std::uint32_t window_ticks) const;
 
@@ -200,6 +260,19 @@ class GuestMemory {
   void evict_one();
   PageIndex pick_victim();
 
+  /// Out-of-line continuation of touch() for everything beyond the resident
+  /// fast paths: minor/major faults and resident writes that must drop a
+  /// stale swap copy.
+  SimTime touch_slow(PageIndex p, bool write, std::uint32_t tick);
+
+  /// Updates a resident page's LRU stamp in both places it lives: the
+  /// per-page table and the packed resident entry (see ResidentEntry).
+  void stamp_access(PageIndex p, std::uint32_t tick) {
+    PageLru& lru = page_lru_[p];
+    lru.stamp = tick;
+    resident_[lru.pos].stamp = tick;
+  }
+
   GuestMemoryConfig config_;
   std::uint64_t page_count_;
   std::uint64_t reservation_pages_;
@@ -207,15 +280,32 @@ class GuestMemory {
   Rng rng_;
 
   std::vector<std::uint8_t> state_;
-  std::vector<std::uint32_t> last_access_;
   std::vector<swap::SwapSlot> slot_;
   Bitmap swap_copy_clean_;  ///< Swap slot holds current contents.
 
-  // Resident-set index for O(1) sampling and removal.
-  std::vector<std::uint32_t> resident_;      ///< page indices
-  std::vector<std::uint32_t> resident_pos_;  ///< page -> index in resident_
+  // Resident-set index for O(1) sampling and removal. Each entry carries a
+  // copy of the page's LRU stamp (kept in sync with page_lru_) so the
+  // sampled-eviction loop reads one random cache line per sample instead of
+  // chasing the page index through a second cold table; at paper scale both
+  // tables are far larger than cache and eviction sampling dominates the
+  // whole simulation, so halving its miss count is a first-order win.
+  struct ResidentEntry {
+    std::uint32_t page;
+    std::uint32_t stamp;
+  };
+  std::vector<ResidentEntry> resident_;  ///< packed resident table
 
-  std::uint64_t swapped_count_ = 0;
+  /// Per-page LRU bookkeeping, packed so the touch fast path reads and
+  /// writes a single cache line: the page's position in resident_ (kNoPos
+  /// when not resident) next to its last-access stamp.
+  struct PageLru {
+    std::uint32_t pos;
+    std::uint32_t stamp;
+  };
+  std::vector<PageLru> page_lru_;
+
+  Bitmap touched_;  ///< state != kUntouched (see touched_bitmap()).
+  Bitmap swapped_;  ///< state == kSwapped (see swapped_bitmap()).
   std::uint64_t remote_count_ = 0;
 
   Bitmap* dirty_log_ = nullptr;

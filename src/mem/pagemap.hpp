@@ -37,6 +37,13 @@ class Pagemap {
     return e;
   }
 
+  /// End of the maximal run of PTEs sharing page `p`'s class (present,
+  /// swapped, or neither), capped at `limit`. The batched live-round scan
+  /// reads one entry per run instead of one per page.
+  PageIndex entry_run_end(PageIndex p, PageIndex limit) const {
+    return mem_->state_run_end(p, limit);
+  }
+
   std::uint64_t page_count() const { return mem_->page_count(); }
 
  private:

@@ -17,6 +17,7 @@ void AgileMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
   if (phase_ == Phase::kInit) {
     dirty_log_.reset(page_count(), false);
     installed_swapped_.reset(page_count(), false);
+    slot_at_scan_.assign(page_count(), swap::kNoSlot);
     source_mem_->attach_dirty_log(&dirty_log_);
     cursor_ = 0;
     phase_ = Phase::kLiveRound;
@@ -31,59 +32,146 @@ void AgileMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
   }
 
   if (phase_ == Phase::kLiveRound) {
-    while (budget > 0) {
-      if (stream_->backlog() >= config_.send_window) break;
-      if (cursor_ >= page_count()) {
-        end_live_round();
-        break;
-      }
-      budget -= scan_page(cursor_++, tick);
-    }
+    budget = scan_runs(budget, tick);
   } else if (phase_ == Phase::kPush) {
-    while (budget > 0) {
-      if (stream_->backlog() >= config_.send_window) break;
-      std::size_t p = sent_.find_next_clear(push_cursor_);
-      // `sent_` holds only dirty pages; non-dirty indices are pre-marked.
-      if (p == Bitmap::npos) break;
-      push_cursor_ = p + 1;
-      sent_.set(p);
-      budget -= push_page(p, tick);
-    }
+    budget = push_runs(budget, tick);
   }
   if (budget < 0) debt_ = -budget;
 }
 
-SimTime AgileMigration::scan_page(PageIndex p, std::uint32_t) {
+SimTime AgileMigration::scan_runs(SimTime budget, std::uint32_t) {
+  // The live-round scan mutates nothing at the source, so a PTE run read at
+  // the top of the tick stays valid for the whole batch: one class run
+  // collapses into one batch send.
   mem::Pagemap pagemap(*source_mem_);
-  mem::PagemapEntry e = pagemap.entry(p);
   mem::GuestMemory* dest = dest_mem_;
-  if (e.swapped) {
-    // The whole point: ship the 16-byte offset, not the 4 KiB page.
-    auto slot = static_cast<swap::SwapSlot>(e.swap_offset);
-    ++metrics_.pages_sent_descriptor;
-    metrics_.bytes_transferred += config_.descriptor_bytes;
-    Bitmap* installed = &installed_swapped_;
-    stream_->send(config_.descriptor_bytes, [dest, installed, p, slot] {
-      dest->install_swapped(p, slot);
-      installed->set(p);
-    });
-    return 1;  // descriptor assembly is nearly free
+  while (budget > 0) {
+    const Bytes backlog = stream_->backlog();
+    if (backlog >= config_.send_window) break;
+    if (cursor_ >= page_count()) {
+      end_live_round();
+      break;
+    }
+    const PageIndex p = cursor_;  // lambdas re-capture a mutable copy below
+    const PageIndex limit = pagemap.entry_run_end(p, page_count());
+    const mem::PagemapEntry e = pagemap.entry(p);
+    // Full pages cost the copy loop; descriptor assembly is nearly free.
+    const SimTime cost = e.present ? config_.page_copy_cost : 1;
+    const Bytes item = e.present ? full_page_bytes() : config_.descriptor_bytes;
+    std::uint64_t n = limit - p;
+    n = std::min(n, (static_cast<std::uint64_t>(budget) +
+                     static_cast<std::uint64_t>(cost) - 1) /
+                        static_cast<std::uint64_t>(cost));
+    n = std::min(n, (config_.send_window - backlog + item - 1) / item);
+    cursor_ = p + n;
+    budget -= static_cast<SimTime>(n) * cost;
+    if (e.swapped) {
+      // The whole point: ship the 16-byte offsets, not the 4 KiB pages. The
+      // slots are captured at scan time — the source drops a slot the moment
+      // the guest writes to its page, but the descriptor on the wire keeps
+      // the value the PTE held when it was read.
+      for (PageIndex q = p; q < p + n; ++q) {
+        slot_at_scan_[q] = static_cast<swap::SwapSlot>(pagemap.entry(q).swap_offset);
+      }
+      metrics_.pages_sent_descriptor += n;
+      metrics_.bytes_transferred += n * config_.descriptor_bytes;
+      Bitmap* installed = &installed_swapped_;
+      const swap::SwapSlot* slots = slot_at_scan_.data();
+      stream_->send_batch(n, config_.descriptor_bytes,
+                          [dest, installed, slots, p = p](std::uint64_t k) mutable {
+                            dest->install_swapped_batch(p, {slots + p, k});
+                            installed->set_range(p, p + k);
+                            p += k;
+                          });
+    } else if (!e.present) {  // untouched / zero pages
+      metrics_.pages_sent_descriptor += n;
+      metrics_.bytes_transferred += n * config_.descriptor_bytes;
+      stream_->send_batch(n, config_.descriptor_bytes,
+                          [dest, p = p](std::uint64_t k) mutable {
+                            for (std::uint64_t i = 0; i < k; ++i) {
+                              dest->install_untouched(p++);
+                            }
+                          });
+    } else {
+      metrics_.pages_sent_full += n;
+      metrics_.bytes_transferred += n * full_page_bytes();
+      host::Cluster* cluster = cluster_;
+      stream_->send_batch(n, full_page_bytes(),
+                          [dest, p = p, cluster](std::uint64_t k) mutable {
+                            dest->receive_overwrite_range(p, p + k,
+                                                          cluster->tick_index());
+                            p += k;
+                          });
+    }
   }
-  if (!e.present) {  // untouched / zero page
-    ++metrics_.pages_sent_descriptor;
-    metrics_.bytes_transferred += config_.descriptor_bytes;
-    stream_->send(config_.descriptor_bytes, [dest, p] {
-      dest->install_untouched(p);
-    });
-    return 1;
+  return budget;
+}
+
+SimTime AgileMigration::push_runs(SimTime budget, std::uint32_t tick) {
+  while (budget > 0) {
+    const Bytes backlog = stream_->backlog();
+    if (backlog >= config_.send_window) break;
+    // `sent_` holds only dirty pages as clear bits; the rest is pre-marked,
+    // so a clear run is a run of owed pages.
+    Bitmap::Run run = sent_.next_clear_run(push_cursor_);
+    if (run.empty()) break;
+    const PageIndex p = run.begin;
+    if (source_mem_->state(p) == mem::PageState::kUntouched) {
+      // Descriptor run: uniform cost and no mid-run class changes (nothing
+      // here swaps anything in).
+      const PageIndex limit = source_mem_->state_run_end(p, run.end);
+      std::uint64_t n = limit - p;
+      n = std::min(n, (static_cast<std::uint64_t>(budget) +
+                       config_.page_copy_cost - 1) /
+                          config_.page_copy_cost);
+      n = std::min(n, (config_.send_window - backlog +
+                       config_.descriptor_bytes - 1) /
+                          config_.descriptor_bytes);
+      sent_.set_range(p, p + n);
+      push_cursor_ = p + n;
+      budget -= static_cast<SimTime>(n) * config_.page_copy_cost;
+      metrics_.pages_sent_descriptor += n;
+      metrics_.bytes_transferred += n * config_.descriptor_bytes;
+      stream_->send_batch(n, config_.descriptor_bytes,
+                          [this, p = p](std::uint64_t k) mutable {
+                            for (std::uint64_t i = 0; i < k; ++i) {
+                              deliver_dirty_page(p++);
+                            }
+                          });
+      continue;
+    }
+    // Full-copy stretch (resident or swapped pages). A swap-in can evict
+    // other pages — possibly inside this run — so class and cost are re-read
+    // page by page while the messages coalesce into one batch.
+    PageIndex q = p;
+    std::uint64_t n = 0;
+    while (q < run.end && budget > 0 &&
+           backlog + n * full_page_bytes() < config_.send_window) {
+      const mem::PageState st = source_mem_->state(q);
+      AGILE_CHECK_MSG(st != mem::PageState::kRemote, "pushing a released page");
+      if (st == mem::PageState::kUntouched) break;
+      SimTime spent = config_.page_copy_cost;
+      if (st == mem::PageState::kSwapped) {
+        // Rare: dirtied during the live round, then evicted again. Reading
+        // the per-VM device is a remote-memory hit, not an SSD seek.
+        spent += source_mem_->swap_in_for_transfer(q, tick);
+      }
+      budget -= spent;
+      ++metrics_.pages_sent_full;
+      metrics_.bytes_transferred += full_page_bytes();
+      ++n;
+      ++q;
+    }
+    sent_.set_range(p, q);
+    push_cursor_ = q;
+    stream_->send_batch(n, full_page_bytes(),
+                        [this, p = p](std::uint64_t k) mutable {
+                          for (std::uint64_t i = 0; i < k; ++i) {
+                            deliver_dirty_page(p++);
+                          }
+                        });
   }
-  ++metrics_.pages_sent_full;
-  metrics_.bytes_transferred += full_page_bytes();
-  host::Cluster* cluster = cluster_;
-  stream_->send(full_page_bytes(), [dest, p, cluster] {
-    dest->receive_overwrite(p, cluster->tick_index());
-  });
-  return config_.page_copy_cost;
+  return budget;
 }
 
 void AgileMigration::end_live_round() {
@@ -96,9 +184,9 @@ void AgileMigration::end_live_round() {
   // Pre-mark non-dirty pages as sent so the push sweep only visits the owed set.
   sent_.reset(page_count(), true);
   received_.reset(page_count(), false);
-  for (std::size_t p = dirty_.find_next_set(0); p != Bitmap::npos;
-       p = dirty_.find_next_set(p + 1)) {
-    sent_.clear(p);
+  for (Bitmap::Run r = dirty_.next_set_run(0); !r.empty();
+       r = dirty_.next_set_run(r.end)) {
+    sent_.clear_range(r.begin, r.end);
   }
   push_cursor_ = 0;
 
@@ -128,33 +216,20 @@ void AgileMigration::apply_dirty_invalidations() {
   // Pages the source dirtied after their live-round copy went out are stale
   // at the destination. Descriptor-installed pages lost their slot when the
   // source wrote to them (swap-cache drop), so the destination must not free
-  // those slots; pages it evicted itself own their slots.
-  for (std::size_t p = dirty_.find_next_set(0); p != Bitmap::npos;
-       p = dirty_.find_next_set(p + 1)) {
-    dest_mem_->invalidate_to_remote(p, /*free_slot=*/!installed_swapped_.test(p));
+  // those slots; pages it evicted itself own their slots. Dirty runs are
+  // sub-split on slot-ownership boundaries so each sub-run invalidates with
+  // a uniform free_slot policy.
+  for (Bitmap::Run r = dirty_.next_set_run(0); !r.empty();
+       r = dirty_.next_set_run(r.end)) {
+    PageIndex p = r.begin;
+    while (p < r.end) {
+      const bool installed = installed_swapped_.test(p);
+      PageIndex q = p + 1;
+      while (q < r.end && installed_swapped_.test(q) == installed) ++q;
+      dest_mem_->invalidate_range_to_remote(p, q, /*free_slot=*/!installed);
+      p = q;
+    }
   }
-}
-
-SimTime AgileMigration::push_page(PageIndex p, std::uint32_t tick) {
-  SimTime spent = config_.page_copy_cost;
-  mem::PageState st = source_mem_->state(p);
-  AGILE_CHECK_MSG(st != mem::PageState::kRemote, "pushing a released page");
-  if (st == mem::PageState::kSwapped) {
-    // Rare: dirtied during the live round, then evicted again. Reading the
-    // per-VM device is a remote-memory hit, not an SSD seek.
-    spent += source_mem_->swap_in_for_transfer(p, tick);
-    st = mem::PageState::kResident;
-  }
-  if (st == mem::PageState::kUntouched) {
-    ++metrics_.pages_sent_descriptor;
-    metrics_.bytes_transferred += config_.descriptor_bytes;
-    stream_->send(config_.descriptor_bytes, [this, p] { deliver_dirty_page(p); });
-  } else {
-    ++metrics_.pages_sent_full;
-    metrics_.bytes_transferred += full_page_bytes();
-    stream_->send(full_page_bytes(), [this, p] { deliver_dirty_page(p); });
-  }
-  return spent;
 }
 
 void AgileMigration::deliver_dirty_page(PageIndex p) {

@@ -50,11 +50,13 @@ class AgileMigration final : public MigrationManager {
  private:
   enum class Phase { kInit, kLiveRound, kFlipWait, kPush, kDone };
 
-  SimTime scan_page(PageIndex p, std::uint32_t tick);
+  /// Run-batched live-round scan / post-flip push; each consumes `budget`
+  /// thread time and returns what is left (negative = overdrawn into debt).
+  SimTime scan_runs(SimTime budget, std::uint32_t tick);
+  SimTime push_runs(SimTime budget, std::uint32_t tick);
   void end_live_round();
   void apply_dirty_invalidations();
   void handoff_cold_slots();
-  SimTime push_page(PageIndex p, std::uint32_t tick);
   SimTime handle_fault(PageIndex p, bool write, std::uint32_t tick);
   void deliver_dirty_page(PageIndex p);
   void maybe_finish();
@@ -65,6 +67,10 @@ class AgileMigration final : public MigrationManager {
   Bitmap dirty_;              ///< Snapshot at suspension: pages owed post-flip.
   Bitmap sent_;               ///< Dirty pages enqueued/served.
   Bitmap received_;           ///< Dirty pages the destination holds.
+  /// Swap slot of each page as read from the PTE during the live round; the
+  /// batched descriptor sends deliver from this buffer (the source may have
+  /// dropped the slot by delivery time).
+  std::vector<swap::SwapSlot> slot_at_scan_;
   std::uint64_t dirty_total_ = 0;
   std::uint64_t cursor_ = 0;       ///< Live-round scan position.
   std::uint64_t push_cursor_ = 0;  ///< Push-phase scan position.

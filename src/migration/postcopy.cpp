@@ -31,35 +31,68 @@ void PostcopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     return;
   }
   while (budget > 0 && phase_ == Phase::kPush) {
-    if (stream_->backlog() >= config_.send_window) break;
-    std::size_t p = sent_.find_next_clear(cursor_);
-    if (p == Bitmap::npos) break;  // all enqueued; finish fires on delivery
-    cursor_ = p + 1;
-    sent_.set(p);
-    budget -= push_page(p, tick);
+    const Bytes backlog = stream_->backlog();
+    if (backlog >= config_.send_window) break;
+    Bitmap::Run run = sent_.next_clear_run(cursor_);
+    if (run.empty()) break;  // all enqueued; finish fires on delivery
+    const PageIndex p = run.begin;
+    if (source_mem_->state(p) == mem::PageState::kUntouched) {
+      // Descriptor run: uniform cost and no mid-run class changes (nothing
+      // here swaps anything in), so the whole run collapses into one batch,
+      // capped by the thread budget and the remaining send window.
+      const PageIndex limit = source_mem_->state_run_end(p, run.end);
+      std::uint64_t n = limit - p;
+      n = std::min(n, (static_cast<std::uint64_t>(budget) +
+                       config_.page_copy_cost - 1) /
+                          config_.page_copy_cost);
+      n = std::min(n, (config_.send_window - backlog +
+                       config_.descriptor_bytes - 1) /
+                          config_.descriptor_bytes);
+      sent_.set_range(p, p + n);
+      cursor_ = p + n;
+      budget -= static_cast<SimTime>(n) * config_.page_copy_cost;
+      metrics_.pages_sent_descriptor += n;
+      metrics_.bytes_transferred += n * config_.descriptor_bytes;
+      stream_->send_batch(n, config_.descriptor_bytes,
+                          [this, p = p](std::uint64_t k) mutable {
+                            for (std::uint64_t i = 0; i < k; ++i) {
+                              deliver_page(p++);
+                            }
+                          });
+      continue;
+    }
+    // Full-copy stretch (resident or swapped pages). A swap-in can evict
+    // other pages — possibly inside this run — so class and cost are re-read
+    // page by page while the messages coalesce into one batch.
+    PageIndex q = p;
+    std::uint64_t n = 0;
+    while (q < run.end && budget > 0 &&
+           backlog + n * full_page_bytes() < config_.send_window) {
+      const mem::PageState st = source_mem_->state(q);
+      AGILE_CHECK_MSG(st != mem::PageState::kRemote,
+                      "pushing an already-released page");
+      if (st == mem::PageState::kUntouched) break;
+      SimTime spent = config_.page_copy_cost;
+      if (st == mem::PageState::kSwapped) {
+        spent += source_mem_->swap_in_for_transfer(q, tick);
+        ++metrics_.pages_swapped_in_at_source;
+      }
+      budget -= spent;
+      ++metrics_.pages_sent_full;
+      metrics_.bytes_transferred += full_page_bytes();
+      ++n;
+      ++q;
+    }
+    sent_.set_range(p, q);
+    cursor_ = q;
+    stream_->send_batch(n, full_page_bytes(),
+                        [this, p = p](std::uint64_t k) mutable {
+                          for (std::uint64_t i = 0; i < k; ++i) {
+                            deliver_page(p++);
+                          }
+                        });
   }
   if (budget < 0) debt_ = -budget;
-}
-
-SimTime PostcopyMigration::push_page(PageIndex p, std::uint32_t tick) {
-  SimTime spent = config_.page_copy_cost;
-  mem::PageState st = source_mem_->state(p);
-  AGILE_CHECK_MSG(st != mem::PageState::kRemote, "pushing an already-released page");
-  if (st == mem::PageState::kSwapped) {
-    spent += source_mem_->swap_in_for_transfer(p, tick);
-    ++metrics_.pages_swapped_in_at_source;
-    st = mem::PageState::kResident;
-  }
-  if (st == mem::PageState::kUntouched) {
-    ++metrics_.pages_sent_descriptor;
-    metrics_.bytes_transferred += config_.descriptor_bytes;
-    stream_->send(config_.descriptor_bytes, [this, p] { deliver_page(p); });
-  } else {
-    ++metrics_.pages_sent_full;
-    metrics_.bytes_transferred += full_page_bytes();
-    stream_->send(full_page_bytes(), [this, p] { deliver_page(p); });
-  }
-  return spent;
 }
 
 void PostcopyMigration::deliver_page(PageIndex p) {

@@ -29,7 +29,6 @@ class PostcopyMigration final : public MigrationManager {
  private:
   enum class Phase { kInit, kFlipWait, kPush, kDone };
 
-  SimTime push_page(PageIndex p, std::uint32_t tick);
   SimTime handle_fault(PageIndex p, bool write, std::uint32_t tick);
   void deliver_page(PageIndex p);
   void maybe_finish();

@@ -1,5 +1,7 @@
 #include "migration/precopy.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace agile::migration {
@@ -21,11 +23,13 @@ void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     return;
   }
 
+  mem::GuestMemory* dest = dest_memory();
   while (budget > 0 &&
          (phase_ == Phase::kLive || phase_ == Phase::kStopCopy)) {
-    if (stream_->backlog() >= config_.send_window) break;  // TCP window full
-    std::size_t p = dirty_.find_next_set(cursor_);
-    if (p == Bitmap::npos) {
+    const Bytes backlog = stream_->backlog();
+    if (backlog >= config_.send_window) break;  // TCP window full
+    Bitmap::Run run = dirty_.next_set_run(cursor_);
+    if (run.empty()) {
       if (phase_ == Phase::kLive) {
         end_of_live_round();
       } else {
@@ -34,39 +38,68 @@ void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
       }
       continue;
     }
-    cursor_ = p + 1;
-    dirty_.clear(p);
-    budget -= send_page(p, tick);
+    PageIndex p = run.begin;
+    if (source_mem_->state(p) == mem::PageState::kUntouched) {
+      // Descriptor run: every page costs the same and nothing can change a
+      // page's class mid-run (descriptors trigger no swap-ins), so the whole
+      // run collapses into one batch send, capped by the thread budget
+      // (ceil: the per-page loop sent while budget was still positive) and
+      // the remaining send window.
+      const PageIndex limit = source_mem_->state_run_end(p, run.end);
+      std::uint64_t n = limit - p;
+      n = std::min(n, (static_cast<std::uint64_t>(budget) +
+                       config_.page_copy_cost - 1) /
+                          config_.page_copy_cost);
+      n = std::min(n, (config_.send_window - backlog +
+                       config_.descriptor_bytes - 1) /
+                          config_.descriptor_bytes);
+      dirty_.clear_range(p, p + n);
+      cursor_ = p + n;
+      budget -= static_cast<SimTime>(n) * config_.page_copy_cost;
+      metrics_.pages_sent_descriptor += n;
+      metrics_.bytes_transferred += n * config_.descriptor_bytes;
+      stream_->send_batch(n, config_.descriptor_bytes,
+                          [dest, p](std::uint64_t k) mutable {
+                            dest->install_untouched_range(p, p + k);
+                            p += k;
+                          });
+      continue;
+    }
+    // Full-copy stretch (resident or swapped pages). A swap-in can evict
+    // other pages of this very VM — possibly inside this run — so class and
+    // cost are re-read page by page; the wire messages still coalesce into a
+    // single batch, since every one is a full-page copy with the same
+    // delivery semantics.
+    PageIndex q = p;
+    std::uint64_t n = 0;
+    while (q < run.end && budget > 0 &&
+           backlog + n * full_page_bytes() < config_.send_window) {
+      const mem::PageState st = source_mem_->state(q);
+      if (st == mem::PageState::kUntouched) break;
+      SimTime spent = config_.page_copy_cost;
+      if (st == mem::PageState::kSwapped) {
+        // Must be brought back into memory before it can be sent (and doing
+        // so can evict other pages of this very VM).
+        spent += source_mem_->swap_in_for_transfer(q, tick);
+        ++metrics_.pages_swapped_in_at_source;
+      }
+      budget -= spent;
+      ++metrics_.pages_sent_full;
+      metrics_.bytes_transferred += full_page_bytes();
+      ++n;
+      ++q;
+    }
+    dirty_.clear_range(p, q);
+    cursor_ = q;
+    host::Cluster* cluster = cluster_;
+    stream_->send_batch(n, full_page_bytes(),
+                        [dest, p, cluster](std::uint64_t k) mutable {
+                          dest->receive_overwrite_range(p, p + k,
+                                                        cluster->tick_index());
+                          p += k;
+                        });
   }
   if (budget < 0) debt_ = -budget;
-}
-
-SimTime PrecopyMigration::send_page(PageIndex p, std::uint32_t tick) {
-  SimTime spent = config_.page_copy_cost;
-  mem::PageState st = source_mem_->state(p);
-  if (st == mem::PageState::kSwapped) {
-    // Must be brought back into memory before it can be sent (and doing so
-    // can evict other pages of this very VM).
-    spent += source_mem_->swap_in_for_transfer(p, tick);
-    ++metrics_.pages_swapped_in_at_source;
-    st = mem::PageState::kResident;
-  }
-  mem::GuestMemory* dest = dest_memory();
-  if (st == mem::PageState::kUntouched) {
-    ++metrics_.pages_sent_descriptor;
-    metrics_.bytes_transferred += config_.descriptor_bytes;
-    stream_->send(config_.descriptor_bytes, [dest, p] {
-      if (dest->state(p) == mem::PageState::kRemote) dest->install_untouched(p);
-    });
-  } else {
-    ++metrics_.pages_sent_full;
-    metrics_.bytes_transferred += full_page_bytes();
-    host::Cluster* cluster = cluster_;
-    stream_->send(full_page_bytes(), [dest, p, cluster] {
-      dest->receive_overwrite(p, cluster->tick_index());
-    });
-  }
-  return spent;
 }
 
 void PrecopyMigration::end_of_live_round() {

@@ -26,8 +26,6 @@ class PrecopyMigration final : public MigrationManager {
  private:
   enum class Phase { kInit, kLive, kStopCopy, kAwaitResume };
 
-  /// Sends page `p` (swapping it in first if needed); returns thread time.
-  SimTime send_page(PageIndex p, std::uint32_t tick);
   void end_of_live_round();
   void start_stop_copy();
 

@@ -54,20 +54,42 @@ void ScatterGatherMigration::on_tick(SimTime now, SimTime dt,
       double byte_budget = cluster_->network().link_bytes_per_sec() *
                            to_seconds(dt) * 0.9;
       while (budget > 0 && byte_budget > 0) {
-        if (stream_->backlog() >= config_.send_window) break;
-        std::size_t p = handled_.find_next_clear(scatter_cursor_);
-        if (p == Bitmap::npos) {
+        const Bytes backlog = stream_->backlog();
+        if (backlog >= config_.send_window) break;
+        Bitmap::Run run = handled_.next_clear_run(scatter_cursor_);
+        if (run.empty()) {
           maybe_finish_scatter();
           break;
         }
-        scatter_cursor_ = p + 1;
-        Bytes before = metrics_.bytes_scattered;
-        budget -= scatter_page(p, tick);
-        // Pace by what actually hit the network: evictions cost a page,
-        // descriptor-only pages (already in the VMD / untouched) only their
-        // 16-byte message.
-        byte_budget -= static_cast<double>(metrics_.bytes_scattered - before +
-                                           config_.descriptor_bytes);
+        // The per-page source work (targeted eviction, slot handoff,
+        // release) is inherently page-at-a-time, but every wire message is
+        // an identical 16-byte descriptor: accumulate the run's worth and
+        // flush one batch. The window check counts descriptors not yet
+        // offered to the flow.
+        const PageIndex p = run.begin;
+        PageIndex q = p;
+        std::uint64_t n = 0;
+        while (q < run.end && budget > 0 && byte_budget > 0 &&
+               backlog + n * config_.descriptor_bytes < config_.send_window) {
+          Bytes before = metrics_.bytes_scattered;
+          budget -= scatter_work(q, tick);
+          // Pace by what actually hit the network: evictions cost a page,
+          // descriptor-only pages (already in the VMD / untouched) only
+          // their 16-byte message.
+          byte_budget -= static_cast<double>(metrics_.bytes_scattered -
+                                             before + config_.descriptor_bytes);
+          ++n;
+          ++q;
+        }
+        scatter_cursor_ = q;
+        metrics_.pages_sent_descriptor += n;
+        metrics_.bytes_transferred += n * config_.descriptor_bytes;
+        stream_->send_batch(n, config_.descriptor_bytes,
+                            [this, p = p](std::uint64_t k) mutable {
+                              for (std::uint64_t i = 0; i < k; ++i) {
+                                descriptor_delivered(p++);
+                              }
+                            });
       }
       if (budget < 0) debt_ = -budget;
     }
@@ -76,7 +98,7 @@ void ScatterGatherMigration::on_tick(SimTime now, SimTime dt,
   (void)now;
 }
 
-SimTime ScatterGatherMigration::scatter_page(PageIndex p, std::uint32_t tick) {
+SimTime ScatterGatherMigration::scatter_work(PageIndex p, std::uint32_t tick) {
   (void)tick;
   mem::PageState st = source_mem_->state(p);
   AGILE_CHECK_MSG(st != mem::PageState::kRemote, "scattering a released page");
@@ -110,21 +132,19 @@ SimTime ScatterGatherMigration::scatter_page(PageIndex p, std::uint32_t tick) {
   if (source_mem_->state(p) != mem::PageState::kRemote) {
     source_mem_->release_page(p);
   }
-
-  ++metrics_.pages_sent_descriptor;
-  metrics_.bytes_transferred += config_.descriptor_bytes;
-  mem::GuestMemory* dest = dest_mem_;
-  host::Cluster* cluster = cluster_;
-  stream_->send(config_.descriptor_bytes, [dest, cluster, p, slot] {
-    if (dest->state(p) != mem::PageState::kRemote) return;  // fault overtook us
-    if (slot == swap::kNoSlot) {
-      dest->install_untouched(p);
-    } else {
-      dest->install_swapped(p, slot);
-    }
-    (void)cluster;
-  });
   return spent;
+}
+
+void ScatterGatherMigration::descriptor_delivered(PageIndex p) {
+  // `scattered_slot_[p]` was fixed when the page was scattered (handled_ is
+  // already set, so a later fault cannot rewrite it) — reading it here is
+  // equivalent to the descriptor carrying the slot on the wire.
+  if (dest_mem_->state(p) != mem::PageState::kRemote) return;  // fault overtook us
+  if (scattered_slot_[p] == swap::kNoSlot) {
+    dest_mem_->install_untouched(p);
+  } else {
+    dest_mem_->install_swapped(p, scattered_slot_[p]);
+  }
 }
 
 void ScatterGatherMigration::gather(SimTime dt, std::uint32_t tick) {
@@ -136,16 +156,10 @@ void ScatterGatherMigration::gather(SimTime dt, std::uint32_t tick) {
   mem::GuestMemory* dest = dest_mem_;
   while (byte_budget > 0) {
     if (dest->resident_pages() + 1 > dest->reservation_pages()) return;
-    // Find the next gatherable page (installed as swapped at the dest).
-    std::uint64_t start = gather_cursor_;
-    PageIndex candidate = static_cast<PageIndex>(-1);
-    for (std::uint64_t i = start; i < page_count(); ++i) {
-      if (dest->state(i) == mem::PageState::kSwapped) {
-        candidate = i;
-        break;
-      }
-    }
-    if (candidate == static_cast<PageIndex>(-1)) return;
+    // Next gatherable page (installed as swapped at the dest): word-scan the
+    // destination's swapped bitmap instead of walking the state array.
+    std::size_t candidate = dest->swapped_bitmap().find_next_set(gather_cursor_);
+    if (candidate == Bitmap::npos) return;
     gather_cursor_ = candidate + 1;
     dest->swap_in_for_transfer(candidate, tick);
     ++pages_gathered_;

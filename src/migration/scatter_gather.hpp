@@ -46,7 +46,11 @@ class ScatterGatherMigration final : public MigrationManager {
  private:
   enum class Phase { kInit, kFlipWait, kScatter, kGatherOnly, kDone };
 
-  SimTime scatter_page(PageIndex p, std::uint32_t tick);
+  /// Source-side work of scattering page `p` (eviction / slot handoff /
+  /// release); the 16-byte descriptor itself travels in a batched send.
+  SimTime scatter_work(PageIndex p, std::uint32_t tick);
+  /// Receiver side of one scattered descriptor (batch chunk callback).
+  void descriptor_delivered(PageIndex p);
   void gather(SimTime dt, std::uint32_t tick);
   SimTime handle_fault(PageIndex p, bool write, std::uint32_t tick);
   void maybe_finish_scatter();

@@ -10,25 +10,37 @@ WireStream::WireStream(net::Network* network, net::NodeId src, net::NodeId dst)
 
 WireStream::~WireStream() { network_->close_flow(flow_); }
 
-void WireStream::send(Bytes bytes, std::function<void()> on_delivered) {
-  AGILE_CHECK(bytes > 0);
-  queue_.push_back({bytes, std::move(on_delivered)});
-  network_->offer(flow_, bytes);
+void WireStream::send_batch(std::uint64_t items, Bytes item_bytes,
+                            ChunkFn on_items) {
+  AGILE_CHECK(items > 0 && item_bytes > 0);
+  queue_.push_back({item_bytes, items, 0, std::move(on_items)});
+  network_->offer(flow_, items * item_bytes);
 }
 
 void WireStream::on_progress(Bytes n) {
   delivered_ += n;
   while (n > 0 && !queue_.empty()) {
+    // Deque references stay valid across push_back, so callbacks may queue
+    // more messages while `m` is still the front entry.
     Message& m = queue_.front();
-    if (m.remaining > n) {
-      m.remaining -= n;
-      return;
+    Bytes avail = m.partial + n;
+    std::uint64_t done = avail / m.item_bytes;
+    if (done >= m.items_left) {
+      // The whole entry completes; pop before invoking so the callback can
+      // observe an idle stream / send follow-ups, then pass leftover bytes
+      // to the next entry.
+      std::uint64_t items = m.items_left;
+      n = avail - items * m.item_bytes;
+      ChunkFn fn = std::move(m.on_items);
+      queue_.pop_front();
+      if (fn) fn(items);
+      continue;
     }
-    n -= m.remaining;
-    // Move the message out before invoking: the callback may send more.
-    auto fn = std::move(m.on_delivered);
-    queue_.pop_front();
-    if (fn) fn();
+    // Partial progress: some (possibly zero) items of the batch completed.
+    m.items_left -= done;
+    m.partial = avail - done * m.item_bytes;
+    if (done > 0 && m.on_items) m.on_items(done);
+    return;
   }
 }
 

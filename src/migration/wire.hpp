@@ -4,17 +4,33 @@
 // it (full pages, SWAPPED descriptors, the CPU state blob, the dirty
 // bitmap). Delivery callbacks fire in send order once the receiver has the
 // complete message — exactly the semantics of a byte stream.
+//
+// The run-length batched wire format: a *batch* send queues `items` equal
+// payloads (one page or one descriptor each) as a single queue entry — the
+// run header (first page + length + class) lives in the sender's completion
+// state, not in extra wire bytes. As the flow drains, the batch's chunk
+// callback fires with the number of items whose last byte has now arrived,
+// preserving exactly the per-item delivery timing of `items` individual
+// sends while costing one queue slot and zero heap allocations (callbacks
+// are `InlineFunction`s, never `std::function`).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
-#include <functional>
+#include <utility>
 
 #include "net/network.hpp"
+#include "util/inline_function.hpp"
 
 namespace agile::migration {
 
 class WireStream {
  public:
+  /// Batch completion callback: invoked with the number of additional items
+  /// (>= 1) fully delivered, in send order, possibly several times per batch.
+  using ChunkFn = InlineFunction<void(std::uint64_t)>;
+
   WireStream(net::Network* network, net::NodeId src, net::NodeId dst);
   ~WireStream();
 
@@ -22,8 +38,21 @@ class WireStream {
   WireStream& operator=(const WireStream&) = delete;
 
   /// Queues a message of `bytes`; `on_delivered` fires when the last byte
-  /// reaches the receiver (may be null for fire-and-forget).
-  void send(Bytes bytes, std::function<void()> on_delivered);
+  /// reaches the receiver. Wraps the callable into the batch path directly
+  /// (a one-item batch), so the adapter costs no extra storage.
+  template <typename F>
+  void send(Bytes bytes, F on_delivered) {
+    send_batch(1, bytes,
+               [fn = std::move(on_delivered)](std::uint64_t) mutable { fn(); });
+  }
+  /// Fire-and-forget single message.
+  void send(Bytes bytes, std::nullptr_t) { send_batch(1, bytes, nullptr); }
+
+  /// Queues `items` back-to-back messages of `item_bytes` each as one queue
+  /// entry. `on_items(n)` fires as each item's last byte arrives (batched
+  /// per network-delivery quantum): timing is identical to `items` separate
+  /// `send` calls.
+  void send_batch(std::uint64_t items, Bytes item_bytes, ChunkFn on_items);
 
   /// Bytes queued but not yet delivered.
   Bytes backlog() const { return network_->backlog(flow_); }
@@ -32,14 +61,17 @@ class WireStream {
   Bytes delivered_bytes() const { return delivered_; }
 
   bool idle() const { return queue_.empty(); }
+  /// Queue entries in flight (a batch of any length counts once).
   std::size_t queued_messages() const { return queue_.size(); }
 
  private:
   void on_progress(Bytes n);
 
   struct Message {
-    Bytes remaining;
-    std::function<void()> on_delivered;
+    Bytes item_bytes;         ///< Wire size of one item.
+    std::uint64_t items_left; ///< Items not yet fully delivered.
+    Bytes partial = 0;        ///< Bytes of the current item already arrived.
+    ChunkFn on_items;
   };
 
   net::Network* network_;

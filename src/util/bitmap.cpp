@@ -54,6 +54,57 @@ std::size_t Bitmap::find_next_clear(std::size_t from) const {
   }
 }
 
+Bitmap::Run Bitmap::next_set_run(std::size_t from) const {
+  std::size_t begin = find_next_set(from);
+  if (begin == npos) return {npos, npos};
+  // The run ends at the next clear bit; a fully-set tail runs to size_.
+  std::size_t end = find_next_clear(begin);
+  return {begin, end == npos ? size_ : end};
+}
+
+Bitmap::Run Bitmap::next_clear_run(std::size_t from) const {
+  std::size_t begin = find_next_clear(from);
+  if (begin == npos) return {npos, npos};
+  std::size_t end = find_next_set(begin);
+  return {begin, end == npos ? size_ : end};
+}
+
+namespace {
+// Mask with bits [lo, hi) of one word set; requires lo < hi <= 64.
+inline std::uint64_t word_mask(std::size_t lo, std::size_t hi) {
+  std::uint64_t high = hi == 64 ? ~0ULL : (1ULL << hi) - 1;
+  return high & ~((1ULL << lo) - 1);
+}
+}  // namespace
+
+void Bitmap::set_range(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  AGILE_CHECK(end <= size_);
+  std::size_t first_word = begin >> 6;
+  std::size_t last_word = (end - 1) >> 6;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    std::size_t lo = (w == first_word) ? (begin & 63) : 0;
+    std::size_t hi = (w == last_word) ? ((end - 1) & 63) + 1 : 64;
+    std::uint64_t mask = word_mask(lo, hi);
+    count_ += static_cast<std::size_t>(std::popcount(mask & ~words_[w]));
+    words_[w] |= mask;
+  }
+}
+
+void Bitmap::clear_range(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  AGILE_CHECK(end <= size_);
+  std::size_t first_word = begin >> 6;
+  std::size_t last_word = (end - 1) >> 6;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    std::size_t lo = (w == first_word) ? (begin & 63) : 0;
+    std::size_t hi = (w == last_word) ? ((end - 1) & 63) + 1 : 64;
+    std::uint64_t mask = word_mask(lo, hi);
+    count_ -= static_cast<std::size_t>(std::popcount(mask & words_[w]));
+    words_[w] &= ~mask;
+  }
+}
+
 void Bitmap::or_with(const Bitmap& other) {
   AGILE_CHECK(other.size_ == size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];

@@ -1,9 +1,11 @@
 // Fixed-size dynamic bitmap with fast scanning.
 //
 // Used for the migration dirty bitmap, the destination's swapped bitmap, and
-// residency tracking. Supports O(words) population count and
-// find-first-set-at-or-after, which the pre-copy scan loop and the active-push
-// loop depend on.
+// residency tracking. Supports O(words) population count,
+// find-first-set-at-or-after, and word-at-a-time *run* iteration
+// (`next_set_run` / `next_clear_run`) — the primitive behind the run-length
+// batched migration wire path, which coalesces contiguous same-class pages
+// into a single stream message instead of one per page.
 #pragma once
 
 #include <cstddef>
@@ -63,6 +65,31 @@ class Bitmap {
 
   /// Index of the first clear bit at or after `from`, or `npos` if none.
   std::size_t find_next_clear(std::size_t from) const;
+
+  /// Half-open run of identical bits. `empty()` marks "no such run".
+  struct Run {
+    std::size_t begin;
+    std::size_t end;
+    bool empty() const { return begin == npos; }
+    std::size_t length() const { return end - begin; }
+  };
+
+  /// Maximal run of set bits starting at the first set bit at or after
+  /// `from`: `{begin, end}` with every bit in [begin, end) set and bit `end`
+  /// (if in range) clear. Returns `{npos, npos}` when no set bit remains.
+  /// Scans 64-bit words with ctz, so sparse and dense bitmaps are both
+  /// O(words), not O(bits).
+  Run next_set_run(std::size_t from) const;
+
+  /// Maximal run of clear bits starting at the first clear bit at or after
+  /// `from`; `{npos, npos}` when no clear bit remains.
+  Run next_clear_run(std::size_t from) const;
+
+  /// Sets every bit in [begin, end), word-masked. No-op on an empty range.
+  void set_range(std::size_t begin, std::size_t end);
+
+  /// Clears every bit in [begin, end), word-masked.
+  void clear_range(std::size_t begin, std::size_t end);
 
   /// Bitwise OR with another bitmap of the same size.
   void or_with(const Bitmap& other);

@@ -1,0 +1,105 @@
+// Small-buffer move-only callable, for hot paths that must not allocate.
+//
+// The migration wire path queues millions of completion callbacks per run;
+// `std::function` heap-allocates each one. `InlineFunction` stores the
+// callable inline (rejecting, at compile time, anything larger than
+// `kCapacity`), so a stream message costs a deque slot and nothing else.
+// Unlike `std::function` it is move-only and never falls back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace agile {
+
+template <typename Sig>
+class InlineFunction;
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
+ public:
+  /// Inline storage: fits a handful of pointers/indices — every capture the
+  /// migration engines use. Enlarge deliberately if a caller legitimately
+  /// needs more; do not fall back to heap allocation.
+  static constexpr std::size_t kCapacity = 64;
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= kCapacity,
+                  "callable too large for InlineFunction's inline storage");
+    static_assert(alignof(D) <= alignof(std::max_align_t));
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "InlineFunction requires nothrow-movable callables");
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+    ops_ = &kOpsFor<D>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    AGILE_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineFunction");
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  ///< Move-construct dst, destroy src.
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kOpsFor{
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); }};
+
+  void move_from(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kCapacity];
+};
+
+}  // namespace agile

@@ -23,54 +23,9 @@ std::uint64_t hash_tag(std::string_view tag) {
   return splitmix64(s);
 }
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed, std::string_view tag) {
   std::uint64_t s = seed ^ hash_tag(tag);
   for (auto& word : s_) word = splitmix64(s);
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::next_below(std::uint64_t n) {
-  AGILE_CHECK(n > 0);
-  // Lemire's nearly-divisionless bounded generation.
-  std::uint64_t x = next_u64();
-  __uint128_t m = static_cast<__uint128_t>(x) * n;
-  auto l = static_cast<std::uint64_t>(m);
-  if (l < n) {
-    std::uint64_t t = (0 - n) % n;
-    while (l < t) {
-      x = next_u64();
-      m = static_cast<__uint128_t>(x) * n;
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-double Rng::next_double() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::next_bool(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
 }
 
 double Rng::next_range(double lo, double hi) {

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/status.hpp"
+
 namespace agile {
 
 /// splitmix64 step; used for seeding and hashing tags.
@@ -24,17 +26,50 @@ class Rng {
   /// Seeds the stream from `seed` and a component `tag`.
   explicit Rng(std::uint64_t seed, std::string_view tag = "");
 
-  /// Uniform in [0, 2^64).
-  std::uint64_t next_u64();
+  /// Uniform in [0, 2^64). Defined inline: sampled-LRU eviction draws from
+  /// this hundreds of millions of times per full-scale sweep, and an
+  /// out-of-line call per draw is measurable there.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, n). n must be > 0. Uses Lemire's bounded rejection.
-  std::uint64_t next_below(std::uint64_t n);
+  std::uint64_t next_below(std::uint64_t n) {
+    AGILE_CHECK(n > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform double in [0, 1).
-  double next_double();
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial with probability p (clamped to [0,1]).
-  bool next_bool(double p);
+  bool next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
 
   /// Uniform in [lo, hi) for doubles.
   double next_range(double lo, double hi);
@@ -43,6 +78,10 @@ class Rng {
   double next_exponential(double mean);
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

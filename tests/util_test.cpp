@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "util/bitmap.hpp"
 #include "util/rng.hpp"
@@ -214,6 +215,115 @@ TEST(Bitmap, OrWith) {
   EXPECT_TRUE(a.test(1));
   EXPECT_TRUE(a.test(2));
   EXPECT_TRUE(a.test(100));
+}
+
+TEST(Bitmap, SetRunCrossesWordBoundary) {
+  Bitmap bm(256);
+  for (std::size_t i = 60; i < 70; ++i) bm.set(i);  // straddles word 0/1
+  Bitmap::Run r = bm.next_set_run(0);
+  EXPECT_EQ(r.begin, 60u);
+  EXPECT_EQ(r.end, 70u);
+  EXPECT_EQ(r.length(), 10u);
+  EXPECT_TRUE(bm.next_set_run(r.end).empty());
+  // Starting mid-run returns the remainder.
+  r = bm.next_set_run(65);
+  EXPECT_EQ(r.begin, 65u);
+  EXPECT_EQ(r.end, 70u);
+}
+
+TEST(Bitmap, SingleBitRunsAtWordEdges) {
+  Bitmap bm(256);
+  bm.set(63);
+  bm.set(64);  // adjacent across the boundary: one run of two
+  Bitmap::Run r = bm.next_set_run(0);
+  EXPECT_EQ(r.begin, 63u);
+  EXPECT_EQ(r.end, 65u);
+  bm.clear(64);
+  r = bm.next_set_run(0);
+  EXPECT_EQ(r.begin, 63u);
+  EXPECT_EQ(r.end, 64u);
+  bm.clear(63);
+  bm.set(64);
+  r = bm.next_set_run(0);
+  EXPECT_EQ(r.begin, 64u);
+  EXPECT_EQ(r.end, 65u);
+}
+
+TEST(Bitmap, AllSetAndAllClearRuns) {
+  Bitmap all(130, true);
+  Bitmap::Run r = all.next_set_run(0);
+  EXPECT_EQ(r.begin, 0u);
+  EXPECT_EQ(r.end, 130u);
+  EXPECT_TRUE(all.next_clear_run(0).empty());
+
+  Bitmap none(130);
+  EXPECT_TRUE(none.next_set_run(0).empty());
+  r = none.next_clear_run(0);
+  EXPECT_EQ(r.begin, 0u);
+  EXPECT_EQ(r.end, 130u);
+}
+
+TEST(Bitmap, ClearRunMirrorsSetRun) {
+  Bitmap bm(200, true);
+  for (std::size_t i = 100; i < 140; ++i) bm.clear(i);
+  Bitmap::Run r = bm.next_clear_run(0);
+  EXPECT_EQ(r.begin, 100u);
+  EXPECT_EQ(r.end, 140u);
+  EXPECT_TRUE(bm.next_clear_run(140).empty());
+}
+
+TEST(Bitmap, SetRangeClearRangeMaintainCount) {
+  Bitmap bm(300);
+  bm.set_range(50, 200);  // spans three words
+  EXPECT_EQ(bm.count(), 150u);
+  EXPECT_FALSE(bm.test(49));
+  EXPECT_TRUE(bm.test(50));
+  EXPECT_TRUE(bm.test(199));
+  EXPECT_FALSE(bm.test(200));
+  bm.set_range(60, 70);  // overlap is idempotent
+  EXPECT_EQ(bm.count(), 150u);
+  bm.clear_range(100, 100);  // empty range is a no-op
+  EXPECT_EQ(bm.count(), 150u);
+  bm.clear_range(60, 190);
+  EXPECT_EQ(bm.count(), 20u);
+  Bitmap::Run r = bm.next_set_run(0);
+  EXPECT_EQ(r.begin, 50u);
+  EXPECT_EQ(r.end, 60u);
+  r = bm.next_set_run(r.end);
+  EXPECT_EQ(r.begin, 190u);
+  EXPECT_EQ(r.end, 200u);
+}
+
+TEST(Bitmap, RunIterationMatchesPerBitScan) {
+  // Randomized cross-check: iterating runs must visit exactly the bits that
+  // per-bit find_next_set visits, in order.
+  Rng rng(0xb17b17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t size = 1 + rng.next_below(400);
+    Bitmap bm(size);
+    std::uint64_t density = 1 + rng.next_below(99);
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.next_below(100) < density) bm.set(i);
+    }
+    std::vector<std::size_t> from_runs;
+    std::size_t covered = 0;
+    for (Bitmap::Run r = bm.next_set_run(0); !r.empty();
+         r = bm.next_set_run(r.end)) {
+      ASSERT_LT(r.begin, r.end);
+      // Maximality: the bits flanking the run are clear (or out of range).
+      if (r.begin > 0) EXPECT_FALSE(bm.test(r.begin - 1));
+      if (r.end < size) EXPECT_FALSE(bm.test(r.end));
+      for (std::size_t i = r.begin; i < r.end; ++i) from_runs.push_back(i);
+      covered += r.length();
+    }
+    std::vector<std::size_t> from_bits;
+    for (std::size_t i = bm.find_next_set(0); i != Bitmap::npos;
+         i = bm.find_next_set(i + 1)) {
+      from_bits.push_back(i);
+    }
+    EXPECT_EQ(from_runs, from_bits);
+    EXPECT_EQ(covered, bm.count());
+  }
 }
 
 TEST(Bitmap, ResetResizes) {

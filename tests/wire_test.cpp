@@ -79,6 +79,102 @@ TEST(WireStream, QueuedMessagesCountTracksBacklog) {
   EXPECT_LT(ws.queued_messages(), 10u);
 }
 
+TEST(WireStream, BatchDeliversChunksInOrder) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  std::uint64_t items = 0;
+  int calls = 0;
+  ws.send_batch(100, 1000, [&](std::uint64_t k) {
+    items += k;
+    ++calls;
+  });
+  EXPECT_EQ(ws.queued_messages(), 1u);  // one queue entry for the whole batch
+  fx.net.advance(msec(100));
+  EXPECT_EQ(items, 100u);
+  EXPECT_EQ(calls, 1);  // everything fit in one quantum -> one chunk
+  EXPECT_TRUE(ws.idle());
+  EXPECT_EQ(ws.delivered_bytes(), 100'000u);
+}
+
+TEST(WireStream, BatchChunksMatchPerItemSends) {
+  // A batch's chunk callbacks must fire at exactly the quanta where the same
+  // items sent individually would have completed.
+  Fixture batch_fx, single_fx;
+  WireStream batch_ws(&batch_fx.net, batch_fx.a, batch_fx.b);
+  WireStream single_ws(&single_fx.net, single_fx.a, single_fx.b);
+  constexpr std::uint64_t kItems = 40;
+  constexpr Bytes kItemBytes = 1'000'000;  // 40 MB total: several quanta
+
+  std::vector<std::uint64_t> batch_progress, single_progress;
+  std::uint64_t batch_total = 0;
+  batch_ws.send_batch(kItems, kItemBytes,
+                      [&](std::uint64_t k) { batch_total += k; });
+  std::uint64_t single_total = 0;
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    single_ws.send(kItemBytes, [&] { ++single_total; });
+  }
+  for (int q = 0; q < 10; ++q) {
+    batch_fx.net.advance(msec(100));
+    single_fx.net.advance(msec(100));
+    batch_progress.push_back(batch_total);
+    single_progress.push_back(single_total);
+  }
+  EXPECT_EQ(batch_progress, single_progress);
+  EXPECT_EQ(batch_total, kItems);
+}
+
+TEST(WireStream, BatchPartialItemCarriesAcrossQuanta) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  // Item size above one quantum's drain (~11.7 MB at 1 Gbps/100ms): each
+  // item needs two quanta, so chunks alternate 0-advance/1-advance.
+  std::uint64_t items = 0;
+  ws.send_batch(3, 15'000'000, [&](std::uint64_t k) { items += k; });
+  fx.net.advance(msec(100));
+  EXPECT_EQ(items, 0u);
+  fx.net.advance(msec(100));
+  EXPECT_EQ(items, 1u);
+  fx.net.advance(msec(200));
+  EXPECT_EQ(items, 3u);
+  EXPECT_TRUE(ws.idle());
+}
+
+TEST(WireStream, BatchCallbackMaySendMore) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  std::uint64_t followups = 0;
+  ws.send_batch(5, 100, [&](std::uint64_t k) {
+    // Reentrant send from inside a chunk callback must not invalidate the
+    // in-flight queue entry.
+    for (std::uint64_t i = 0; i < k; ++i) {
+      ws.send(50, [&](/*done*/) { ++followups; });
+    }
+  });
+  for (int i = 0; i < 5; ++i) fx.net.advance(msec(100));
+  EXPECT_EQ(followups, 5u);
+  EXPECT_TRUE(ws.idle());
+}
+
+TEST(WireStream, BatchNullCallbackIsFine) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  ws.send_batch(1000, 16, nullptr);
+  fx.net.advance(msec(100));
+  EXPECT_TRUE(ws.idle());
+  EXPECT_EQ(ws.delivered_bytes(), 16'000u);
+}
+
+TEST(WireStream, MixedBatchAndSingleKeepFifoOrder) {
+  Fixture fx;
+  WireStream ws(&fx.net, fx.a, fx.b);
+  std::vector<int> order;
+  ws.send(1000, [&] { order.push_back(1); });
+  ws.send_batch(10, 100, [&](std::uint64_t) { order.push_back(2); });
+  ws.send(1000, [&] { order.push_back(3); });
+  fx.net.advance(msec(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(WireStream, DestructionClosesFlow) {
   Fixture fx;
   {
