@@ -94,7 +94,11 @@ inline void store_cached(const std::string& key, const CachedRun& r) {
   std::string temp_path =
       final_path + ".tmp" + std::to_string(temp_seq.fetch_add(1));
   std::FILE* f = std::fopen(temp_path.c_str(), "w");
-  if (f == nullptr) return;
+  if (f == nullptr) {
+    AGILE_LOG_WARN("bench cache: cannot write '%s' (result not cached)",
+                   temp_path.c_str());
+    return;
+  }
   const migration::MigrationMetrics& m = r.migration;
   std::fprintf(f, "%s %lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %.17g\n",
                kCacheFormatTag,
@@ -111,6 +115,8 @@ inline void store_cached(const std::string& key, const CachedRun& r) {
                m.precopy_rounds, m.completed ? 1 : 0, r.avg_perf);
   std::fclose(f);
   if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    AGILE_LOG_WARN("bench cache: rename '%s' -> '%s' failed (result not cached)",
+                   temp_path.c_str(), final_path.c_str());
     std::remove(temp_path.c_str());
   }
 }

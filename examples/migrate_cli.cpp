@@ -1,8 +1,7 @@
 // Command-line scenario driver: run any migration technique against a
 // configurable pressured VM without writing C++.
 //
-//   $ ./migrate_cli --technique=agile --vm-gb=8 --host-gb=4 --busy \
-//                   --timeline
+//   $ ./migrate_cli --technique=agile --vm-gb=8 --host-gb=4 --busy --timeline
 //
 // Flags (all optional):
 //   --technique=precopy|postcopy|agile|scatter-gather   (default agile)
@@ -89,6 +88,7 @@ int main(int argc, char** argv) {
   opt.vm_memory = static_cast<Bytes>(vm_gb * static_cast<double>(1_GiB));
   opt.host_ram = static_cast<Bytes>(host_gb * static_cast<double>(1_GiB));
   opt.busy = busy;
+  opt.read_fraction = read_fraction;
   opt.seed = seed;
   core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
   if (busy && sc.ycsb == nullptr) return usage(argv[0]);

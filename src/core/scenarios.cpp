@@ -138,7 +138,7 @@ SingleVm make_single_vm(const SingleVmOptions& options) {
         options.vm_memory - options.free_margin - options.guest_os;
     ycfg.guest_os_bytes = options.guest_os;
     ycfg.active_bytes = ycfg.dataset_bytes;
-    ycfg.read_fraction = 0.7;  // update-heavy enough to matter for pre-copy
+    ycfg.read_fraction = options.read_fraction;
     auto load = std::make_unique<workload::YcsbWorkload>(
         scenario.handle->machine, &bed.cluster().network(), bed.client_node(),
         ycfg, bed.make_rng("vm0/ycsb"));

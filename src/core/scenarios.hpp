@@ -76,6 +76,8 @@ struct SingleVmOptions {
   bool busy = false;  ///< Busy: Redis dataset ≈ memory − 500 MB + YCSB client.
   Bytes guest_os = 200_MiB;
   Bytes free_margin = 500_MiB;  ///< "leaving only 500MB of free memory".
+  /// Busy client's read share (update-heavy enough to matter for pre-copy).
+  double read_fraction = 0.7;
   std::uint64_t seed = 42;
 };
 

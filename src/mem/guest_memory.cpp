@@ -26,6 +26,7 @@ GuestMemory::GuestMemory(const GuestMemoryConfig& config,
   swapped_.reset(page_count_, false);
   page_lru_.assign(page_count_, PageLru{kNoPos, 0});
   resident_.reserve(std::min<std::uint64_t>(page_count_, reservation_pages_ + 1));
+  if (audit::enabled()) deep_audit();
 }
 
 void GuestMemory::set_swap_device(swap::SwapDevice* device) {
@@ -140,6 +141,7 @@ void GuestMemory::mark_all_remote() {
             static_cast<std::uint8_t>(PageState::kRemote));
   touched_.set_all();
   remote_count_ = page_count_;
+  if (audit::enabled()) deep_audit();
 }
 
 void GuestMemory::install_resident(PageIndex p, std::uint32_t tick) {
@@ -177,6 +179,7 @@ void GuestMemory::install_untouched_range(PageIndex begin, PageIndex end) {
   for (PageIndex p = begin; p < end; ++p) {
     if (state(p) == PageState::kRemote) install_untouched(p);
   }
+  maybe_deep_audit();
 }
 
 void GuestMemory::install_swapped_batch(PageIndex first,
@@ -185,6 +188,7 @@ void GuestMemory::install_swapped_batch(PageIndex first,
   for (std::size_t i = 0; i < slots.size(); ++i) {
     install_swapped(first + i, slots[i]);
   }
+  maybe_deep_audit();
 }
 
 void GuestMemory::receive_overwrite(PageIndex p, std::uint32_t tick) {
@@ -217,6 +221,7 @@ void GuestMemory::receive_overwrite_range(PageIndex begin, PageIndex end,
   AGILE_CHECK(begin <= end && end <= page_count_);
   // Ascending order matters: each install may evict under the reservation.
   for (PageIndex p = begin; p < end; ++p) receive_overwrite(p, tick);
+  maybe_deep_audit();
 }
 
 void GuestMemory::invalidate_to_remote(PageIndex p, bool free_slot) {
@@ -247,6 +252,7 @@ void GuestMemory::invalidate_range_to_remote(PageIndex begin, PageIndex end,
                                              bool free_slot) {
   AGILE_CHECK(begin <= end && end <= page_count_);
   for (PageIndex p = begin; p < end; ++p) invalidate_to_remote(p, free_slot);
+  maybe_deep_audit();
 }
 
 void GuestMemory::teardown(bool free_slots) {
@@ -269,6 +275,7 @@ void GuestMemory::teardown(bool free_slots) {
   remote_count_ = page_count_;
   touched_.set_all();
   swapped_.clear_all();
+  if (audit::enabled()) deep_audit();
 }
 
 void GuestMemory::make_resident(PageIndex p, std::uint32_t tick) {
@@ -283,6 +290,10 @@ void GuestMemory::make_resident(PageIndex p, std::uint32_t tick) {
 void GuestMemory::remove_from_resident(PageIndex p) {
   std::uint32_t pos = page_lru_[p].pos;
   AGILE_CHECK(pos != kNoPos);
+  AGILE_DCHECK_EQ(resident_[pos].page, p)
+      << "packed LRU position of page " << p << " names another page";
+  AGILE_DCHECK_EQ(resident_[pos].stamp, page_lru_[p].stamp)
+      << "stamp copies diverge for page " << p;
   ResidentEntry last = resident_.back();
   resident_[pos] = last;
   page_lru_[last.page].pos = pos;
@@ -311,6 +322,7 @@ PageIndex GuestMemory::pick_victim() {
 void GuestMemory::evict_page(PageIndex p) {
   AGILE_CHECK(p < page_count_);
   AGILE_CHECK(state(p) == PageState::kResident);
+  AGILE_DCHECK(!swapped_.test(p)) << "resident page " << p << " in swapped bitmap";
   remove_from_resident(p);
   if (slot_[p] != swap::kNoSlot && swap_copy_clean_.test(p)) {
     ++stats_.clean_drops;  // swap copy still valid; no I/O
@@ -340,7 +352,25 @@ std::uint64_t GuestMemory::true_working_set_pages(
   return count;
 }
 
-void GuestMemory::check_consistency() const {
+void GuestMemory::deep_audit() const {
+  // Reverse direction of the packed-LRU cross-audit: every resident-vector
+  // entry must name a resident page whose page_lru_ record points back at
+  // this position with an identical stamp copy.
+  for (std::uint32_t i = 0; i < resident_.size(); ++i) {
+    const ResidentEntry& e = resident_[i];
+    AGILE_CHECK_S(e.page < page_count_) << "resident entry " << i << " out of range";
+    AGILE_CHECK_S(state(e.page) == PageState::kResident)
+        << "resident entry " << i << " names non-resident page " << e.page;
+    AGILE_CHECK_S(page_lru_[e.page].pos == i)
+        << "page " << e.page << " lru pos " << page_lru_[e.page].pos
+        << " does not point back at resident slot " << i;
+    AGILE_CHECK_S(page_lru_[e.page].stamp == e.stamp)
+        << "stamp copies diverge for page " << e.page;
+  }
+  touched_.deep_audit();
+  swapped_.deep_audit();
+  swap_copy_clean_.deep_audit();
+
   std::uint64_t resident = 0, swapped = 0, remote = 0;
   for (PageIndex p = 0; p < page_count_; ++p) {
     const auto st = static_cast<PageState>(state_[p]);
@@ -373,6 +403,10 @@ void GuestMemory::check_consistency() const {
   AGILE_CHECK(swapped == swapped_.count());
   AGILE_CHECK(remote == remote_count_);
   AGILE_CHECK(page_count_ - touched_.count() == untouched_pages());
+  if (dirty_log_ != nullptr) {
+    AGILE_CHECK_S(dirty_log_->size() == page_count_)
+        << "dirty log size " << dirty_log_->size() << " != page count";
+  }
 }
 
 }  // namespace agile::mem

@@ -250,9 +250,17 @@ class GuestMemory {
   std::uint64_t true_working_set_pages(std::uint32_t now_tick,
                                        std::uint32_t window_ticks) const;
 
+  /// Deep auditor (O(page_count)): internal counters match the per-page
+  /// state array, the packed LRU `{pos, stamp}` table and the resident
+  /// vector cross-reference each other exactly (both directions), and the
+  /// touched/swapped bitmaps agree with the pagemap view bit for bit.
+  /// Aborts on violation. Runs automatically at structural boundaries (and
+  /// decimated during migrations) when `audit::enabled()`.
+  void deep_audit() const;
+
   /// Sanity invariant: internal counters match the per-page state array.
-  /// O(page_count); used by tests.
-  void check_consistency() const;
+  /// O(page_count); used by tests. Alias of deep_audit().
+  void check_consistency() const { deep_audit(); }
 
  private:
   void make_resident(PageIndex p, std::uint32_t tick);
@@ -269,8 +277,19 @@ class GuestMemory {
   /// per-page table and the packed resident entry (see ResidentEntry).
   void stamp_access(PageIndex p, std::uint32_t tick) {
     PageLru& lru = page_lru_[p];
+    AGILE_DCHECK_LT(lru.pos, resident_.size()) << "stamping non-resident page " << p;
+    AGILE_DCHECK_EQ(resident_[lru.pos].page, p)
+        << "packed LRU position of page " << p << " points at another page";
     lru.stamp = tick;
     resident_[lru.pos].stamp = tick;
+  }
+
+  /// Decimated deep audit for migration-path mutators: every
+  /// `kAuditEvery`-th call (plus every structural boundary, which calls
+  /// deep_audit() directly) when auditing is enabled.
+  void maybe_deep_audit() const {
+    if (!audit::enabled()) return;
+    if (++audit_ops_ % kAuditEvery == 0) deep_audit();
   }
 
   GuestMemoryConfig config_;
@@ -310,6 +329,11 @@ class GuestMemory {
 
   Bitmap* dirty_log_ = nullptr;
   MemStats stats_;
+
+  /// Deep-audit decimation counter (see maybe_deep_audit). Mutable: auditing
+  /// observes, never changes, simulation state.
+  static constexpr std::uint64_t kAuditEvery = 4096;
+  mutable std::uint64_t audit_ops_ = 0;
 };
 
 }  // namespace agile::mem

@@ -190,6 +190,24 @@ void AgileMigration::end_live_round() {
   }
   push_cursor_ = 0;
 
+  if (audit::enabled()) {
+    // Every page was classified exactly once during the live round: the
+    // cursor sweep visits each PTE once, so full-page and swap-offset
+    // (descriptor) accounting must sum to exactly the guest size, and the
+    // byte total must decompose into those two message classes.
+    AGILE_CHECK_S(metrics_.pages_sent_full + metrics_.pages_sent_descriptor ==
+                  page_count())
+        << "live round classified " << metrics_.pages_sent_full << " full + "
+        << metrics_.pages_sent_descriptor << " descriptor pages, guest has "
+        << page_count();
+    AGILE_CHECK_S(metrics_.bytes_transferred ==
+                  metrics_.pages_sent_full * full_page_bytes() +
+                      metrics_.pages_sent_descriptor * config_.descriptor_bytes)
+        << "live-round byte total does not decompose into page classes";
+    dirty_.deep_audit();
+    sent_.deep_audit();
+  }
+
   AGILE_LOG_INFO("agile %s: live round done, %llu dirty pages owed post-flip",
                  params_.machine->name().c_str(),
                  static_cast<unsigned long long>(dirty_total_));
@@ -233,6 +251,8 @@ void AgileMigration::apply_dirty_invalidations() {
 }
 
 void AgileMigration::deliver_dirty_page(PageIndex p) {
+  AGILE_DCHECK(dirty_.test(p)) << "push delivered page " << p
+                               << " outside the dirty set";
   if (received_.test(p)) {
     ++metrics_.duplicate_pages;
   } else {
@@ -307,6 +327,13 @@ void AgileMigration::handoff_cold_slots() {
 
 void AgileMigration::maybe_finish() {
   if (phase_ != Phase::kPush || received_.count() != dirty_total_) return;
+  if (audit::enabled()) {
+    // Completion implies the owed set drained exactly: every page is marked
+    // sent and every received page was owed.
+    AGILE_CHECK_S(sent_.count() == page_count())
+        << "finishing with " << page_count() - sent_.count() << " unsent pages";
+    received_.deep_audit();
+  }
   phase_ = Phase::kDone;
   params_.machine->clear_remote_fault_handler();
   // Reclaim what the source still holds: frames, swap-cache copies of pages

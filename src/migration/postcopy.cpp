@@ -149,6 +149,22 @@ SimTime PostcopyMigration::handle_fault(PageIndex p, bool, std::uint32_t tick) {
 
 void PostcopyMigration::maybe_finish() {
   if (phase_ == Phase::kDone || received_.count() != page_count()) return;
+  if (audit::enabled()) {
+    // Every page reached the destination exactly once, counting the push /
+    // demand-fault race explicitly: pushes + demand serves = guest size +
+    // duplicates (a duplicate is a page that travelled both ways).
+    AGILE_CHECK_S(metrics_.pages_sent_full + metrics_.pages_sent_descriptor +
+                      metrics_.pages_demand_served ==
+                  page_count() + metrics_.duplicate_pages)
+        << "page classification does not cover the guest exactly once: full "
+        << metrics_.pages_sent_full << " + desc "
+        << metrics_.pages_sent_descriptor << " + demand "
+        << metrics_.pages_demand_served << " vs " << page_count() << " + dup "
+        << metrics_.duplicate_pages;
+    AGILE_CHECK_S(sent_.count() == page_count())
+        << "finishing with " << page_count() - sent_.count() << " unsent pages";
+    received_.deep_audit();
+  }
   phase_ = Phase::kDone;
   params_.machine->clear_remote_fault_handler();
   source_mem_->teardown(/*free_slots=*/true);

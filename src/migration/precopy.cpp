@@ -104,6 +104,28 @@ void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
 
 void PrecopyMigration::end_of_live_round() {
   metrics_.precopy_rounds = round_;
+  if (audit::enabled()) {
+    // A round ends only when its scan cleared every dirty bit — each owed
+    // page was classified (and sent) exactly once this round.
+    AGILE_CHECK_S(dirty_.none())
+        << "round " << round_ << " ended with " << dirty_.count()
+        << " unvisited dirty pages";
+    if (round_ == 1) {
+      // Round 1 scans the whole guest: full + descriptor accounting must sum
+      // to the guest size, and the byte total must decompose into the two
+      // message classes.
+      AGILE_CHECK_S(metrics_.pages_sent_full + metrics_.pages_sent_descriptor ==
+                    page_count())
+          << "round 1 classified " << metrics_.pages_sent_full << " full + "
+          << metrics_.pages_sent_descriptor << " descriptor pages, guest has "
+          << page_count();
+      AGILE_CHECK_S(metrics_.bytes_transferred ==
+                    metrics_.pages_sent_full * full_page_bytes() +
+                        metrics_.pages_sent_descriptor * config_.descriptor_bytes)
+          << "round 1 byte total does not decompose into page classes";
+    }
+    next_dirty_.deep_audit();
+  }
   std::uint64_t remaining = next_dirty_.count();
   double est_seconds = static_cast<double>(remaining * full_page_bytes()) /
                        cluster_->network().link_bytes_per_sec();

@@ -224,6 +224,14 @@ void ScatterGatherMigration::maybe_finish_scatter() {
     }
     return;
   }
+  if (audit::enabled()) {
+    // Scatter completion: every page was handled exactly once (scattered or
+    // demand-resolved), and only handled pages can carry a slot descriptor.
+    AGILE_CHECK_S(metrics_.pages_sent_descriptor <= page_count())
+        << "more descriptors (" << metrics_.pages_sent_descriptor
+        << ") than guest pages";
+    handled_.deep_audit();
+  }
   phase_ = Phase::kDone;
   scatter_done_ = cluster_->simulation().now();
   params_.machine->clear_remote_fault_handler();

@@ -14,7 +14,32 @@ void WireStream::send_batch(std::uint64_t items, Bytes item_bytes,
                             ChunkFn on_items) {
   AGILE_CHECK(items > 0 && item_bytes > 0);
   queue_.push_back({item_bytes, items, 0, std::move(on_items)});
+  offered_ += items * item_bytes;
+  items_offered_ += items;
   network_->offer(flow_, items * item_bytes);
+}
+
+void WireStream::audit_conservation() const {
+  // The network decrements the flow backlog before any delivery callback
+  // fires, so at every observation point: offered == delivered + in flight.
+  AGILE_CHECK_S(offered_ == delivered_ + network_->backlog(flow_))
+      << "wire flow leaks bytes: offered " << offered_ << ", delivered "
+      << delivered_ << ", backlog " << network_->backlog(flow_);
+  AGILE_CHECK_S(items_completed_ <= items_offered_)
+      << "more item completions (" << items_completed_ << ") than sends ("
+      << items_offered_ << ")";
+  // Batch chunk delivery must be tick-equivalent to per-item sends: the
+  // delivered byte total decomposes exactly into whole completed items plus
+  // the partial bytes of the single item at the FIFO head.
+  Bytes partial = queue_.empty() ? 0 : queue_.front().partial;
+  AGILE_CHECK_S(delivered_ == items_completed_bytes_ + partial)
+      << "delivered " << delivered_ << " bytes but item accounting covers "
+      << items_completed_bytes_ << " + partial " << partial;
+  if (queue_.empty()) {
+    AGILE_CHECK_S(items_completed_ == items_offered_)
+        << "idle stream with " << items_offered_ - items_completed_
+        << " unaccounted items";
+  }
 }
 
 void WireStream::on_progress(Bytes n) {
@@ -23,6 +48,8 @@ void WireStream::on_progress(Bytes n) {
     // Deque references stay valid across push_back, so callbacks may queue
     // more messages while `m` is still the front entry.
     Message& m = queue_.front();
+    AGILE_DCHECK_GT(m.items_left, 0u);
+    AGILE_DCHECK_LT(m.partial, m.item_bytes);
     Bytes avail = m.partial + n;
     std::uint64_t done = avail / m.item_bytes;
     if (done >= m.items_left) {
@@ -31,6 +58,8 @@ void WireStream::on_progress(Bytes n) {
       // to the next entry.
       std::uint64_t items = m.items_left;
       n = avail - items * m.item_bytes;
+      items_completed_ += items;
+      items_completed_bytes_ += items * m.item_bytes;
       ChunkFn fn = std::move(m.on_items);
       queue_.pop_front();
       if (fn) fn(items);
@@ -39,9 +68,16 @@ void WireStream::on_progress(Bytes n) {
     // Partial progress: some (possibly zero) items of the batch completed.
     m.items_left -= done;
     m.partial = avail - done * m.item_bytes;
+    items_completed_ += done;
+    items_completed_bytes_ += done * m.item_bytes;
     if (done > 0 && m.on_items) m.on_items(done);
+    if (audit::enabled()) audit_conservation();
     return;
   }
+  // The FIFO must never over-deliver: leftover bytes with an empty queue
+  // would mean the network handed us more than was ever offered.
+  AGILE_CHECK_S(n == 0) << "wire stream over-delivered by " << n << " bytes";
+  if (audit::enabled()) audit_conservation();
 }
 
 }  // namespace agile::migration

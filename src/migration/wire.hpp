@@ -60,6 +60,9 @@ class WireStream {
   /// Total bytes delivered so far.
   Bytes delivered_bytes() const { return delivered_; }
 
+  /// Total bytes ever offered to the flow (delivered + in flight).
+  Bytes offered_bytes() const { return offered_; }
+
   bool idle() const { return queue_.empty(); }
   /// Queue entries in flight (a batch of any length counts once).
   std::size_t queued_messages() const { return queue_.size(); }
@@ -68,16 +71,28 @@ class WireStream {
   void on_progress(Bytes n);
 
   struct Message {
-    Bytes item_bytes;         ///< Wire size of one item.
-    std::uint64_t items_left; ///< Items not yet fully delivered.
+    Bytes item_bytes = 0;         ///< Wire size of one item.
+    std::uint64_t items_left = 0; ///< Items not yet fully delivered.
     Bytes partial = 0;        ///< Bytes of the current item already arrived.
     ChunkFn on_items;
   };
+
+  /// Deep auditor (O(1)): byte conservation across the stream and its
+  /// network flow — everything offered is either delivered or still in the
+  /// flow backlog, the delivered total equals the per-item completion
+  /// accounting (batch delivery is tick-equivalent to per-item sends), and
+  /// the FIFO never over-delivers. Called per delivery quantum when
+  /// `audit::enabled()`.
+  void audit_conservation() const;
 
   net::Network* network_;
   net::FlowId flow_;
   std::deque<Message> queue_;
   Bytes delivered_ = 0;
+  Bytes offered_ = 0;
+  std::uint64_t items_offered_ = 0;
+  std::uint64_t items_completed_ = 0;
+  Bytes items_completed_bytes_ = 0;  ///< Wire bytes of fully delivered items.
 };
 
 }  // namespace agile::migration

@@ -57,7 +57,22 @@ void Simulation::purge_cancelled_top() {
   }
 }
 
+void Simulation::audit_bind_thread() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id owner = audit_owner_.load(std::memory_order_relaxed);
+  if (owner == self) return;
+  std::thread::id expected{};
+  if (audit_owner_.compare_exchange_strong(expected, self,
+                                           std::memory_order_relaxed)) {
+    return;
+  }
+  AGILE_CHECK_S(expected == self)
+      << "Simulation driven from a second thread (cross-worker aliasing): "
+         "each parallel-sweep worker must own a private Simulation";
+}
+
 bool Simulation::step() {
+  if (audit::enabled()) audit_bind_thread();
   purge_cancelled_top();
   if (heap_.empty()) return false;
   Event ev = pop_event();
@@ -80,12 +95,14 @@ bool Simulation::step() {
 }
 
 void Simulation::run() {
+  if (audit::enabled()) audit_bind_thread();
   stopped_ = false;
   while (!stopped_ && step()) {
   }
 }
 
 void Simulation::run_until(SimTime t) {
+  if (audit::enabled()) audit_bind_thread();
   AGILE_CHECK(t >= now_);
   stopped_ = false;
   while (!stopped_) {

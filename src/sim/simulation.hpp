@@ -15,9 +15,11 @@
 // (the cluster quantum alone fires ten times per simulated second).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "util/status.hpp"
@@ -125,6 +127,13 @@ class Simulation {
   void push_periodic(PeriodicTask* task, SimTime at);
   void purge_cancelled_top();
 
+  /// Deep auditor: a Simulation is single-threaded state — the parallel
+  /// sweep runner gives every worker its own instance, and nothing
+  /// synchronizes the event heap. Binds the simulation to the first thread
+  /// that drives it and aborts if a different thread ever does (cross-worker
+  /// aliasing). Called from run()/run_until()/step() when audit::enabled().
+  void audit_bind_thread();
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
@@ -138,6 +147,9 @@ class Simulation {
   // must not fatten every Event), and the documented contract is that
   // handles stay valid until the simulation is destroyed anyway.
   std::vector<std::shared_ptr<PeriodicTask>> tasks_;
+  // Thread that first drove this simulation (audit_bind_thread). Atomic so
+  // the auditor itself is race-free under TSan.
+  std::atomic<std::thread::id> audit_owner_{};
 };
 
 }  // namespace agile::sim

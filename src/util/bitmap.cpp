@@ -111,6 +111,53 @@ void Bitmap::or_with(const Bitmap& other) {
   recount();
 }
 
+void Bitmap::deep_audit() const {
+  AGILE_CHECK_S(words_.size() == (size_ + 63) / 64)
+      << "word storage does not match size " << size_;
+  if (size_ % 64 != 0 && !words_.empty()) {
+    AGILE_CHECK_S((words_.back() & ~((1ULL << (size_ % 64)) - 1)) == 0)
+        << "bits set past size " << size_;
+  }
+  std::size_t pop = 0;
+  for (std::uint64_t w : words_) pop += static_cast<std::size_t>(std::popcount(w));
+  AGILE_CHECK_S(pop == count_)
+      << "incremental count " << count_ << " != popcount " << pop;
+
+  // Set-run iteration: runs must be maximal, disjoint, ascending, and cover
+  // exactly the set population.
+  std::size_t covered = 0;
+  for (Run r = next_set_run(0); !r.empty(); r = next_set_run(r.end)) {
+    AGILE_CHECK_S(r.begin < r.end && r.end <= size_)
+        << "malformed set run [" << r.begin << ", " << r.end << ")";
+    if (r.begin > 0) {
+      AGILE_CHECK_S(!test(r.begin - 1)) << "set run not maximal at " << r.begin;
+    }
+    if (r.end < size_) {
+      AGILE_CHECK_S(!test(r.end)) << "set run not maximal at " << r.end;
+    }
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      AGILE_CHECK_S(test(i)) << "clear bit " << i << " inside set run";
+    }
+    covered += r.length();
+  }
+  AGILE_CHECK_S(covered == count_)
+      << "set runs cover " << covered << " bits, count is " << count_;
+
+  // Clear-run iteration covers the complement.
+  std::size_t clear_covered = 0;
+  for (Run r = next_clear_run(0); !r.empty(); r = next_clear_run(r.end)) {
+    AGILE_CHECK_S(r.begin < r.end && r.end <= size_)
+        << "malformed clear run [" << r.begin << ", " << r.end << ")";
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      AGILE_CHECK_S(!test(i)) << "set bit " << i << " inside clear run";
+    }
+    clear_covered += r.length();
+  }
+  AGILE_CHECK_S(clear_covered == size_ - count_)
+      << "clear runs cover " << clear_covered << " bits, expected "
+      << size_ - count_;
+}
+
 void Bitmap::recount() {
   std::size_t c = 0;
   for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));

@@ -94,6 +94,21 @@ class Bitmap {
   /// Bitwise OR with another bitmap of the same size.
   void or_with(const Bitmap& other);
 
+  /// Deep auditor (O(bits)): the incremental population count matches an
+  /// actual recount, bits past `size()` are zero, and set/clear run iteration
+  /// yields maximal, disjoint, ascending runs covering exactly the set and
+  /// clear populations. Aborts on violation. Call sites gate on
+  /// `audit::enabled()`; calling directly always audits.
+  void deep_audit() const;
+
+  /// Test-only fault injection for auditor negative tests: overwrites word
+  /// `word_index` without maintaining the population count, so a subsequent
+  /// `deep_audit()` must abort. Never call outside tests.
+  void corrupt_word_for_test(std::size_t word_index, std::uint64_t value) {
+    AGILE_CHECK(word_index < words_.size());
+    words_[word_index] = value;
+  }
+
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
  private:

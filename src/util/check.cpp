@@ -1,0 +1,52 @@
+#include "util/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace agile {
+namespace detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  std::fprintf(stderr, "AGILE_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+
+namespace audit {
+
+namespace {
+
+// -1 = not yet resolved, 0 = off, 1 = on. Atomic so the bench thread pool can
+// race the first call harmlessly (both writers store the same value).
+std::atomic<int> g_enabled{-1};
+
+int resolve() {
+#ifdef AGILE_AUDIT
+  return 1;
+#else
+  const char* env = std::getenv("AGILE_AUDIT");
+  return (env != nullptr && env[0] == '1') ? 1 : 0;
+#endif
+}
+
+}  // namespace
+
+bool enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve();
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_enabled_for_test(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace audit
+}  // namespace agile

@@ -26,14 +26,4 @@ std::string Status::to_string() const {
   return s;
 }
 
-namespace detail {
-
-void check_failed(const char* file, int line, const char* expr,
-                  const std::string& msg) {
-  std::fprintf(stderr, "AGILE_CHECK failed at %s:%d: %s%s%s\n", file, line,
-               expr, msg.empty() ? "" : " — ", msg.c_str());
-  std::abort();
-}
-
-}  // namespace detail
 }  // namespace agile

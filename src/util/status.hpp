@@ -2,8 +2,9 @@
 //
 // The simulator is exception-free on its hot paths; fallible operations
 // return `Status` or `Result<T>`. Programming errors (broken invariants) are
-// caught with AGILE_CHECK, which aborts with a message — the simulator is a
-// research tool and fail-fast beats limping on with corrupt state.
+// caught with the AGILE_CHECK family (see util/check.hpp), which aborts with
+// a message — the simulator is a research tool and fail-fast beats limping on
+// with corrupt state.
 #pragma once
 
 #include <cstdio>
@@ -11,6 +12,8 @@
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "util/check.hpp"
 
 namespace agile {
 
@@ -112,25 +115,4 @@ class Result {
   std::variant<T, Status> v_;
 };
 
-namespace detail {
-[[noreturn]] void check_failed(const char* file, int line, const char* expr,
-                               const std::string& msg);
-}  // namespace detail
-
 }  // namespace agile
-
-/// Fail-fast invariant check; always on (simulation correctness > speed of a
-/// broken run).
-#define AGILE_CHECK(expr)                                                \
-  do {                                                                   \
-    if (!(expr)) {                                                       \
-      ::agile::detail::check_failed(__FILE__, __LINE__, #expr, "");      \
-    }                                                                    \
-  } while (0)
-
-#define AGILE_CHECK_MSG(expr, msg)                                       \
-  do {                                                                   \
-    if (!(expr)) {                                                       \
-      ::agile::detail::check_failed(__FILE__, __LINE__, #expr, (msg));   \
-    }                                                                    \
-  } while (0)

@@ -41,7 +41,7 @@ struct VmdServerConfig {
   /// of swap space available at the VMD by using excess disk space (HDs
   /// and/or SSDs) alongside the excess memory"). 0 disables it.
   Bytes disk_capacity = 0;
-  storage::SsdConfig disk;       ///< Device model for the disk tier.
+  storage::SsdConfig disk = {};  ///< Device model for the disk tier.
 };
 
 /// Which tier a stored page landed on.

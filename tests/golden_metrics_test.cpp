@@ -136,6 +136,14 @@ TEST(GoldenMetrics, MigrationMetricsMatchGolden) {
                         << " (regenerate with AGILE_GOLDEN_WRITE=1)";
   std::stringstream buf;
   buf << f.rdbuf();
+  if (buf.str().size() < actual.size()) {
+    // A truncated checkout / interrupted rewrite shows up as a confusing
+    // whole-dump diff; name the real problem and the file first.
+    std::fprintf(stderr,
+                 "warning: golden file '%s' is short (%zu bytes, expected %zu)"
+                 " — truncated or stale?\n",
+                 path, buf.str().size(), actual.size());
+  }
   EXPECT_EQ(buf.str(), actual)
       << "migration metrics diverged from the golden dump — the data path is "
          "supposed to be behavior-preserving; regenerate only for an "

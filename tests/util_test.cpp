@@ -311,8 +311,12 @@ TEST(Bitmap, RunIterationMatchesPerBitScan) {
          r = bm.next_set_run(r.end)) {
       ASSERT_LT(r.begin, r.end);
       // Maximality: the bits flanking the run are clear (or out of range).
-      if (r.begin > 0) EXPECT_FALSE(bm.test(r.begin - 1));
-      if (r.end < size) EXPECT_FALSE(bm.test(r.end));
+      if (r.begin > 0) {
+        EXPECT_FALSE(bm.test(r.begin - 1));
+      }
+      if (r.end < size) {
+        EXPECT_FALSE(bm.test(r.end));
+      }
       for (std::size_t i = r.begin; i < r.end; ++i) from_runs.push_back(i);
       covered += r.length();
     }
@@ -338,6 +342,97 @@ TEST(Bitmap, EmptyBitmapScans) {
   Bitmap bm;
   EXPECT_EQ(bm.find_next_set(0), Bitmap::npos);
   EXPECT_EQ(bm.find_next_clear(0), Bitmap::npos);
+}
+
+TEST(Bitmap, EmptyBitmapRunIteration) {
+  Bitmap bm;
+  EXPECT_TRUE(bm.next_set_run(0).empty());
+  EXPECT_TRUE(bm.next_clear_run(0).empty());
+  bm.deep_audit();
+}
+
+TEST(Bitmap, SingleBitRunsAtWordBoundaries) {
+  // A lone set bit at each corner of a 64-bit word must come back as a
+  // one-bit run, with the clear runs splitting around it.
+  for (std::size_t pos : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                          std::size_t{127}}) {
+    Bitmap bm(128);
+    bm.set(pos);
+    Bitmap::Run r = bm.next_set_run(0);
+    EXPECT_EQ(r.begin, pos);
+    EXPECT_EQ(r.end, pos + 1);
+    EXPECT_TRUE(bm.next_set_run(r.end).empty());
+    Bitmap::Run c = bm.next_clear_run(0);
+    if (pos == 0) {
+      EXPECT_EQ(c.begin, 1u);
+      EXPECT_EQ(c.end, 128u);
+    } else {
+      EXPECT_EQ(c.begin, 0u);
+      EXPECT_EQ(c.end, pos);
+      c = bm.next_clear_run(c.end);
+      if (pos < 127) {
+        EXPECT_EQ(c.begin, pos + 1);
+        EXPECT_EQ(c.end, 128u);
+      } else {
+        EXPECT_TRUE(c.empty());
+      }
+    }
+    bm.deep_audit();
+  }
+}
+
+TEST(Bitmap, FullWordRunsSpanWords) {
+  // A run covering whole words plus ragged edges on both sides must come
+  // back as one maximal run, not per-word fragments.
+  Bitmap bm(256);
+  bm.set_range(60, 200);  // tail of word 0, words 1–2 whole, head of word 3
+  Bitmap::Run r = bm.next_set_run(0);
+  EXPECT_EQ(r.begin, 60u);
+  EXPECT_EQ(r.end, 200u);
+  EXPECT_TRUE(bm.next_set_run(r.end).empty());
+  // Starting mid-run still reports the remainder of the same run.
+  r = bm.next_set_run(128);
+  EXPECT_EQ(r.begin, 128u);
+  EXPECT_EQ(r.end, 200u);
+  bm.deep_audit();
+}
+
+TEST(Bitmap, RangeOpsAtSizeBoundary) {
+  Bitmap bm(65);
+  bm.set_range(64, 65);  // final bit, alone in the last word
+  EXPECT_EQ(bm.count(), 1u);
+  EXPECT_TRUE(bm.test(64));
+  Bitmap::Run r = bm.next_set_run(0);
+  EXPECT_EQ(r.begin, 64u);
+  EXPECT_EQ(r.end, 65u);
+  bm.deep_audit();
+
+  bm.set_range(0, 65);  // whole bitmap
+  EXPECT_EQ(bm.count(), 65u);
+  r = bm.next_set_run(0);
+  EXPECT_EQ(r.begin, 0u);
+  EXPECT_EQ(r.end, 65u);
+  EXPECT_TRUE(bm.next_clear_run(0).empty());
+  bm.deep_audit();
+
+  bm.clear_range(64, 65);  // drop the final bit again
+  EXPECT_EQ(bm.count(), 64u);
+  EXPECT_FALSE(bm.test(64));
+  r = bm.next_clear_run(0);
+  EXPECT_EQ(r.begin, 64u);
+  EXPECT_EQ(r.end, 65u);
+  bm.deep_audit();
+
+  bm.clear_range(0, 65);
+  EXPECT_EQ(bm.count(), 0u);
+  EXPECT_TRUE(bm.next_set_run(0).empty());
+  bm.deep_audit();
+
+  // Empty ranges are no-ops, including at the very end.
+  bm.set_range(65, 65);
+  bm.clear_range(0, 0);
+  EXPECT_EQ(bm.count(), 0u);
+  bm.deep_audit();
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Full correctness matrix for the agile-migration simulator.
+#
+# Runs, in order:
+#   1. werror     — default preset rebuilt with AGILE_WERROR=ON (warning-clean gate)
+#   2. lint       — tools/lint_determinism.py over src/ + bench/
+#   3. asan-ubsan — full ctest suite under ASan+UBSan with audits compiled in
+#   4. tsan       — thread_pool / parallel_sweep / wire tests under TSan
+#   5. tidy       — clang-tidy over every TU (skipped when clang-tidy is absent)
+#
+# Usage:
+#   tools/analyze.sh              # run everything
+#   tools/analyze.sh werror lint  # run a subset of legs
+#
+# Expected wall time on one core: werror ~3 min, asan-ubsan ~10 min,
+# tsan ~2 min, lint seconds.
+
+set -u
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+LEGS=("$@")
+[ ${#LEGS[@]} -eq 0 ] && LEGS=(werror lint asan-ubsan tsan tidy)
+
+declare -A RESULT
+FAILED=0
+
+want() {
+  local leg
+  for leg in "${LEGS[@]}"; do [ "$leg" = "$1" ] && return 0; done
+  return 1
+}
+
+record() { # name status
+  RESULT[$1]=$2
+  if [ "$2" = FAIL ]; then
+    FAILED=1
+    echo "== $1: FAIL"
+  else
+    echo "== $1: $2"
+  fi
+}
+
+run_preset_tests() { # preset extra-ctest-args...
+  local preset=$1
+  shift
+  cmake --preset "$preset" >/dev/null &&
+    cmake --build --preset "$preset" -j "$JOBS" &&
+    ctest --preset "$preset" -j "$JOBS" "$@"
+}
+
+if want werror; then
+  echo "== werror: default build with -Werror"
+  if cmake --preset default -DAGILE_WERROR=ON >/dev/null &&
+    cmake --build --preset default -j "$JOBS"; then
+    record werror PASS
+  else
+    record werror FAIL
+  fi
+  # Leave the default tree warning-tolerant for everyday incremental builds.
+  cmake --preset default -DAGILE_WERROR=OFF >/dev/null
+fi
+
+if want lint; then
+  echo "== lint: determinism lint over src/ + bench/"
+  if python3 tools/lint_determinism.py; then
+    record lint PASS
+  else
+    record lint FAIL
+  fi
+fi
+
+if want asan-ubsan; then
+  echo "== asan-ubsan: full suite under ASan+UBSan (audits on)"
+  if run_preset_tests asan-ubsan; then
+    record asan-ubsan PASS
+  else
+    record asan-ubsan FAIL
+  fi
+fi
+
+if want tsan; then
+  echo "== tsan: thread_pool / parallel_sweep / wire under TSan (audits on)"
+  if run_preset_tests tsan; then
+    record tsan PASS
+  else
+    record tsan FAIL
+  fi
+fi
+
+if want tidy; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== tidy: clang-tidy over all TUs"
+    if cmake --preset tidy >/dev/null &&
+      cmake --build --preset tidy -j "$JOBS"; then
+      record tidy PASS
+    else
+      record tidy FAIL
+    fi
+  else
+    record tidy "SKIP (clang-tidy not found)"
+  fi
+fi
+
+echo
+echo "=== analyze.sh summary ==="
+for leg in "${LEGS[@]}"; do
+  printf '  %-10s %s\n' "$leg" "${RESULT[$leg]:-not run}"
+done
+exit $FAILED

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# clang-tidy over only the files changed vs HEAD~1 plus the working tree.
+#
+# Cheap PR-scoped static analysis: the full-tree tidy preset takes much
+# longer, this checks just what a change touched. Uses the .clang-tidy at the
+# repo root and the compilation database from the default build tree
+# (configure the `default` preset first so build/compile_commands.json
+# exists).
+#
+# Exit codes: 0 clean, 1 findings, 77 skipped (clang-tidy or the compilation
+# database is unavailable — ctest maps 77 to "skipped" via SKIP_RETURN_CODE).
+
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang_tidy_diff: clang-tidy not found on PATH; skipping"
+  exit 77
+fi
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "clang_tidy_diff: $BUILD_DIR/compile_commands.json missing" \
+    "(configure the default preset first); skipping"
+  exit 77
+fi
+
+# Changed C++ sources: last commit plus anything staged/unstaged.
+mapfile -t changed < <(
+  {
+    git diff --name-only --diff-filter=d HEAD~1 2>/dev/null ||
+      git diff --name-only --diff-filter=d HEAD
+    git diff --name-only --diff-filter=d
+  } | sort -u | grep -E '^(src|bench|tests|examples)/.*\.(cpp|cc)$'
+)
+
+if [ ${#changed[@]} -eq 0 ]; then
+  echo "clang_tidy_diff: no changed C++ sources"
+  exit 0
+fi
+
+echo "clang_tidy_diff: checking ${#changed[@]} file(s)"
+status=0
+for f in "${changed[@]}"; do
+  [ -f "$f" ] || continue
+  echo "-- $f"
+  clang-tidy -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+exit $status

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Determinism lint for the agile-migration simulator.
+
+The simulator's contract is bit-for-bit reproducible runs: identical seeds and
+configs must produce identical metrics (the golden tests depend on it, and so
+does the run cache). This lint bans the constructs that silently break that
+contract:
+
+  wall-clock   std::chrono::system_clock / steady_clock /
+               high_resolution_clock, time(), gettimeofday, clock_gettime —
+               simulation logic must use SimTime, never host time.
+  ambient rng  rand()/srand(), std::random_device, raw std::mt19937
+               construction — all randomness must flow through util/rng so it
+               is seeded explicitly.
+  ptr-keyed    std::unordered_map/set keyed on a pointer type — iteration
+               order follows the allocator, which varies run to run.
+  uninit POD   scalar members without initializers in structs named
+               *Metrics/*Stats/*Config/*Params/*Message/*Header — these
+               structs are aggregate-built and memcmp'd/serialized, so an
+               unwritten member leaks indeterminate bytes.
+
+Scope: src/ and bench/ (tests may use wall clocks for timeouts). Exceptions go
+in tools/lint_determinism_allow.txt, one per line:
+
+    path-suffix :: line-substring   # rationale
+
+A finding is waived when the file path ends with `path-suffix` and the
+offending line contains `line-substring`.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCAN_DIRS = ("src", "bench")
+EXTS = (".cpp", ".hpp", ".cc", ".h")
+ALLOWLIST_PATH = os.path.join(REPO, "tools", "lint_determinism_allow.txt")
+
+WALL_CLOCK = [
+    (re.compile(r"\bsystem_clock\b"), "wall-clock: std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "wall-clock: std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "wall-clock: std::chrono::high_resolution_clock"),
+    (re.compile(r"(?:^|[^_A-Za-z:.>])time\s*\(\s*(?:NULL|nullptr|0|&|\))"),
+     "wall-clock: time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "wall-clock: gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "wall-clock: clock_gettime()"),
+]
+
+AMBIENT_RNG = [
+    (re.compile(r"(?:^|[^_A-Za-z.:>])s?rand\s*\("), "ambient rng: rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "ambient rng: std::random_device"),
+    (re.compile(r"\bmt19937(?:_64)?\b"), "ambient rng: raw std::mt19937"),
+]
+
+# std::unordered_map<Key*, ...> / unordered_set<Key*>: first template argument
+# contains a '*' before the ',' or '>'.
+PTR_KEYED = re.compile(r"\bunordered_(?:map|set)\s*<[^,<>]*\*")
+
+STRUCT_NAME = re.compile(
+    r"^\s*struct\s+(\w*(?:Metrics|Stats|Config|Params|Message|Header))\b[^;]*$")
+# A scalar member without an initializer: `type name;` where type is an
+# arithmetic/typedef-looking token chain and there is no '=' or '{' before ';'.
+SCALAR_MEMBER = re.compile(
+    r"^\s*(?:const\s+)?"
+    r"((?:unsigned\s+|signed\s+|long\s+|short\s+)*"
+    r"(?:bool|char|int|long|short|float|double|size_t|std::size_t|"
+    r"std::u?int\d+_t|u?int\d+_t|SimTime|Bytes|PageIndex|NodeId|EventId))\s+"
+    r"(\w+)\s*;\s*(?://.*)?$")
+
+
+def strip_line_comment(line):
+    """Remove a trailing // comment (string literals are rare enough in this
+    codebase that we accept the occasional false negative inside one)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def load_allowlist():
+    entries = []
+    if not os.path.exists(ALLOWLIST_PATH):
+        return entries
+    with open(ALLOWLIST_PATH, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "::" not in line:
+                print(f"lint_determinism: bad allowlist entry: {raw.rstrip()}",
+                      file=sys.stderr)
+                sys.exit(2)
+            suffix, substr = (part.strip() for part in line.split("::", 1))
+            entries.append((suffix, substr))
+    return entries
+
+
+def allowed(entries, relpath, line):
+    return any(relpath.endswith(suffix) and substr in line
+               for suffix, substr in entries)
+
+
+def in_rng_module(relpath):
+    base = os.path.basename(relpath)
+    return os.sep + "util" + os.sep in relpath and base.startswith("rng")
+
+
+def scan_file(relpath, allow):
+    findings = []
+    path = os.path.join(REPO, relpath)
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+
+    in_block_comment = False
+    struct_stack = []  # (name, brace_depth_at_entry)
+    depth = 0
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        # Block comments: drop commented spans (coarse, line-granular).
+        if in_block_comment:
+            if "*/" in line:
+                line = line.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                continue
+        if "/*" in line and "*/" not in line:
+            line = line.split("/*", 1)[0]
+            in_block_comment = True
+        line = strip_line_comment(line)
+        if not line.strip():
+            depth += raw.count("{") - raw.count("}")
+            continue
+
+        def report(msg, text=line):
+            if not allowed(allow, relpath, raw):
+                findings.append((relpath, lineno, msg, text.strip()))
+
+        for pat, msg in WALL_CLOCK:
+            if pat.search(line):
+                report(msg)
+        if not in_rng_module(relpath):
+            for pat, msg in AMBIENT_RNG:
+                if pat.search(line):
+                    report(msg)
+        if PTR_KEYED.search(line):
+            report("pointer-keyed unordered container (iteration order is "
+                   "allocator-dependent)")
+
+        m = STRUCT_NAME.match(line)
+        if m and ";" not in line:
+            struct_stack.append((m.group(1), depth))
+        if struct_stack:
+            name, entry_depth = struct_stack[-1]
+            mm = SCALAR_MEMBER.match(line)
+            # Only direct members (depth is entry_depth + 1 inside the body).
+            if mm and depth == entry_depth + 1:
+                report(f"uninitialized scalar member '{mm.group(2)}' in "
+                       f"struct {name} (add a default initializer)")
+        depth += line.count("{") - line.count("}")
+        while struct_stack and depth <= struct_stack[-1][1]:
+            struct_stack.pop()
+    return findings
+
+
+def main():
+    allow = load_allowlist()
+    findings = []
+    for top in SCAN_DIRS:
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(REPO, top)):
+            for fn in sorted(filenames):
+                if not fn.endswith(EXTS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, fn), REPO)
+                findings.extend(scan_file(rel, allow))
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s):\n")
+        for relpath, lineno, msg, text in findings:
+            print(f"  {relpath}:{lineno}: {msg}\n      {text}")
+        print("\nFix the construct or add a justified entry to "
+              "tools/lint_determinism_allow.txt")
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
