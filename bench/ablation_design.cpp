@@ -75,6 +75,7 @@ migration::MigrationMetrics run_pressured_agile(
   ycsb->set_active_bytes(quick ? 1_GiB : 3_GiB);
   bed.cluster().run_for_seconds(30);
   bench::record_run(bed.cluster().simulation().events_executed());
+  if (!mig->completed()) bench::record_incomplete_run();
   migration::MigrationMetrics m = mig->metrics();
   // Smuggle the post-widen throughput out via a copy (cold-read throughput).
   m.pages_swap_faulted = (ycsb->ops_total() - before) / 30;
@@ -96,6 +97,7 @@ migration::MigrationMetrics run_single_vm_pressured(Technique technique) {
   sc.prepare();
   sc.run_migration();
   bench::record_run(sc.bed->cluster().simulation().events_executed());
+  if (!sc.migration->completed()) bench::record_incomplete_run();
   return sc.migration->metrics();
 }
 
@@ -117,8 +119,7 @@ int main() {
                       "post-migration cold-read ops/s"});
     for (std::size_t i = 0; i < counts.size(); ++i) {
       const auto& m = runs[i];
-      t.add_row({std::to_string(counts[i]),
-                 metrics::Table::num(to_seconds(m.total_time()), 1),
+      t.add_row({std::to_string(counts[i]), bench::migration_time_cell(m),
                  metrics::Table::num(to_mib(m.bytes_transferred), 0),
                  std::to_string(m.pages_swap_faulted)});
     }
@@ -139,7 +140,7 @@ int main() {
                      : (techniques[i] == Technique::kPostcopy
                             ? "cold pages shipped once (post-copy)"
                             : "cold pages shipped + retransmits (pre-copy)"),
-                 metrics::Table::num(to_seconds(m.total_time()), 1),
+                 bench::migration_time_cell(m),
                  metrics::Table::num(to_mib(m.bytes_transferred), 0)});
     }
     std::printf("\nB. What the SWAPPED descriptor buys:\n%s", t.to_string().c_str());
@@ -156,7 +157,7 @@ int main() {
     metrics::Table t({"send window (MiB)", "migration time (s)"});
     for (std::size_t i = 0; i < windows.size(); ++i) {
       t.add_row({metrics::Table::num(to_mib(windows[i]), 0),
-                 metrics::Table::num(to_seconds(runs[i].total_time()), 1)});
+                 bench::migration_time_cell(runs[i])});
     }
     std::printf("\nC. Stream send window (must cover a scheduling quantum of "
                 "line rate):\n%s",
@@ -173,7 +174,7 @@ int main() {
     for (std::size_t i = 0; i < techniques.size(); ++i) {
       const auto& m = runs[i];
       t.add_row({core::technique_name(techniques[i]),
-                 metrics::Table::num(to_seconds(m.total_time()), 1),
+                 bench::migration_time_cell(m),
                  metrics::Table::num(to_mib(m.bytes_transferred), 0)});
     }
     std::printf("\nE. Time until the source host is deprovisioned:\n%s",
@@ -198,8 +199,7 @@ int main() {
                       "post-migration cold-read ops/s"});
     for (std::size_t i = 0; i < tiers.size(); ++i) {
       const auto& m = runs[i];
-      t.add_row({tiers[i].label,
-                 metrics::Table::num(to_seconds(m.total_time()), 1),
+      t.add_row({tiers[i].label, bench::migration_time_cell(m),
                  std::to_string(m.pages_swap_faulted)});
     }
     std::printf("\nD. Disk-tier spill (paper §IV-A extension): migration is "

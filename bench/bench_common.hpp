@@ -8,6 +8,9 @@
 //   AGILE_BENCH_JOBS=N   worker threads for sweep execution (default:
 //                        hardware concurrency; 1 forces serial in-thread)
 //   AGILE_BENCH_FRESH=1  ignore and rewrite the cross-binary run cache
+//   AGILE_TRACE=out.json record a Chrome trace per freshly executed run,
+//                        written to out.json.<run-key>.json (cached runs
+//                        re-use prior results and record nothing)
 //
 // Each bench ends with a timing footer (see `footer`) so sweep speedups are
 // measurable: wall-clock, jobs, runs executed vs served from cache, total
@@ -22,6 +25,7 @@
 #include <thread>
 
 #include "metrics/table.hpp"
+#include "migration/migration.hpp"
 
 namespace agile::bench {
 
@@ -56,10 +60,21 @@ inline unsigned sweep_jobs() {
   return jobs;
 }
 
+/// Trace output stem from AGILE_TRACE, or empty when tracing is off. Each
+/// freshly executed run appends its cache key: `<stem>.<key>.json`.
+inline const std::string& trace_stem() {
+  static const std::string stem = [] {
+    const char* env = std::getenv("AGILE_TRACE");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return stem;
+}
+
 /// Process-wide sweep accounting, fed by the runners and printed by `footer`.
 struct SweepStats {
   std::atomic<std::uint64_t> runs_executed{0};
   std::atomic<std::uint64_t> runs_cached{0};
+  std::atomic<std::uint64_t> runs_incomplete{0};
   std::atomic<std::uint64_t> sim_events{0};
   std::chrono::steady_clock::time_point wall_start =
       std::chrono::steady_clock::now();
@@ -80,6 +95,20 @@ inline void record_run(std::uint64_t events_executed) {
 /// Records one result served from the cross-binary cache.
 inline void record_cached_run() {
   sweep_stats().runs_cached.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Records a run whose migration hit the time limit without completing.
+/// Tables print "n/a" for such points; the footer carries an `incomplete`
+/// flag instead of leaking the -1 sentinel as a negative time.
+inline void record_incomplete_run() {
+  sweep_stats().runs_incomplete.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Migration-time table cell: "n/a" when the run never completed, in which
+/// case `total_time()` is the -1 sentinel, not a duration.
+inline std::string migration_time_cell(const migration::MigrationMetrics& m) {
+  if (!m.completed) return "n/a";
+  return metrics::Table::num(to_seconds(m.total_time()), 1);
 }
 
 inline void banner(const std::string& title) {
@@ -104,6 +133,7 @@ inline void footer(const std::string& name = "") {
   std::uint64_t events = s.sim_events.load(std::memory_order_relaxed);
   std::uint64_t executed = s.runs_executed.load(std::memory_order_relaxed);
   std::uint64_t cached = s.runs_cached.load(std::memory_order_relaxed);
+  std::uint64_t incomplete = s.runs_incomplete.load(std::memory_order_relaxed);
   double rate = wall > 0 ? static_cast<double>(events) / wall : 0;
   char rate_str[32];
   if (rate >= 1e6) {
@@ -117,6 +147,10 @@ inline void footer(const std::string& name = "") {
       wall, sweep_jobs(), static_cast<unsigned long long>(executed),
       static_cast<unsigned long long>(cached),
       static_cast<unsigned long long>(events), rate_str);
+  if (incomplete > 0) {
+    std::printf("[timing] WARNING: %llu run(s) hit the migration time limit\n",
+                static_cast<unsigned long long>(incomplete));
+  }
   if (name.empty()) return;
   std::string path = out_dir() + "/BENCH_" + name + ".json";
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
@@ -128,12 +162,16 @@ inline void footer(const std::string& name = "") {
                  "  \"jobs\": %u,\n"
                  "  \"runs_executed\": %llu,\n"
                  "  \"runs_cached\": %llu,\n"
+                 "  \"runs_incomplete\": %llu,\n"
+                 "  \"incomplete\": %s,\n"
                  "  \"sim_events\": %llu,\n"
                  "  \"events_per_sec\": %.0f\n"
                  "}\n",
                  name.c_str(), quick_mode() ? "true" : "false", wall,
                  sweep_jobs(), static_cast<unsigned long long>(executed),
                  static_cast<unsigned long long>(cached),
+                 static_cast<unsigned long long>(incomplete),
+                 incomplete > 0 ? "true" : "false",
                  static_cast<unsigned long long>(events), rate);
     std::fclose(f);
   }

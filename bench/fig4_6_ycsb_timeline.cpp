@@ -44,6 +44,7 @@ RunResult run_technique(Technique technique, double horizon_s,
   sc.schedule_migration(migrate_at);
   sc.bed->cluster().run_for_seconds(horizon_s);
   bench::record_run(sc.bed->cluster().simulation().events_executed());
+  if (!sc.migration->completed()) bench::record_incomplete_run();
 
   RunResult r;
   r.avg = sc.average_throughput();
@@ -88,7 +89,7 @@ int main() {
     const Row& row = row_points[i];
     RunResult& r = results[i];
     table.add_row({row.fig, row.label, metrics::Table::num(r.peak, 0),
-                   metrics::Table::num(to_seconds(r.migration.total_time()), 1),
+                   bench::migration_time_cell(r.migration),
                    metrics::Table::num(
                        static_cast<double>(r.migration.downtime) / 1000.0, 0),
                    r.recovery_s < 0 ? "n/a" : metrics::Table::num(r.recovery_s, 0)});

@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 #include "core/scenarios.hpp"
 #include "run_cache.hpp"
+#include "util/log.hpp"
 
 namespace agile::bench {
 
@@ -26,10 +27,17 @@ inline CachedRun run_single_vm(core::Technique technique, Bytes vm_memory,
       opt.guest_os = 32_MiB;
       opt.free_margin = 64_MiB;
     }
+    opt.trace = !trace_stem().empty();
     core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
     sc.prepare();
     sc.run_migration();
     record_run(sc.bed->cluster().simulation().events_executed());
+    if (!sc.migration->metrics().completed) record_incomplete_run();
+    if (sc.session != nullptr) {
+      Status st = sc.session->recorder().write_chrome_json(trace_stem() + "." +
+                                                           key + ".json");
+      if (!st.is_ok()) AGILE_LOG_WARN("%s", st.message().c_str());
+    }
     CachedRun r;
     r.migration = sc.migration->metrics();
     return r;

@@ -11,13 +11,18 @@
 //   --read-fraction=F  busy client's read share          (default 0.8)
 //   --seed=N           simulation seed                   (default 42)
 //   --timeline         print 1 s throughput samples while migrating
+//   --trace-out=FILE   record a Chrome trace_event JSON of the run
+//                      (load in chrome://tracing or ui.perfetto.dev)
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/scenarios.hpp"
 #include "metrics/table.hpp"
+#include "trace/trace.hpp"
 #include "util/log.hpp"
+#include "wss/watermark_trigger.hpp"
 
 using namespace agile;
 
@@ -34,7 +39,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--technique=precopy|postcopy|agile|scatter-gather]\n"
                "          [--vm-gb=N] [--host-gb=N] [--busy]\n"
-               "          [--read-fraction=F] [--seed=N] [--timeline]\n",
+               "          [--read-fraction=F] [--seed=N] [--timeline]\n"
+               "          [--trace-out=FILE]\n",
                argv0);
   return 2;
 }
@@ -46,6 +52,7 @@ int main(int argc, char** argv) {
   double vm_gb = 4, host_gb = 2, read_fraction = 0.8;
   std::uint64_t seed = 42;
   bool busy = false, timeline = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -69,6 +76,8 @@ int main(int argc, char** argv) {
       read_fraction = std::stod(v);
     } else if (parse_flag(argv[i], "seed", &v)) {
       seed = std::stoull(v);
+    } else if (parse_flag(argv[i], "trace-out", &v)) {
+      trace_out = v;
     } else if (std::strcmp(argv[i], "--busy") == 0) {
       busy = true;
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
@@ -90,6 +99,7 @@ int main(int argc, char** argv) {
   opt.busy = busy;
   opt.read_fraction = read_fraction;
   opt.seed = seed;
+  opt.trace = !trace_out.empty();
   core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
   if (busy && sc.ycsb == nullptr) return usage(argv[0]);
   std::printf("Preparing a %.1f GiB %s VM on a %.1f GiB host (%s)...\n", vm_gb,
@@ -100,6 +110,24 @@ int main(int argc, char** argv) {
   if (busy) {
     probe = std::make_unique<core::ThroughputProbe>(&sc.bed->cluster(),
                                                     sc.ycsb, "ycsb");
+  }
+  std::shared_ptr<sim::PeriodicTask> wss_probe;
+  if (opt.trace) {
+    // Observation-only watermark probe: SingleVm runs no reservation
+    // controller, so sample the VM's resident set once a second and run the
+    // §III-B trigger over it. This puts the host's memory-pressure picture
+    // on the trace's wss track next to the engine phases.
+    vm::VirtualMachine* machine = sc.handle->machine;
+    Bytes host_ram = sc.bed->source()->ram();
+    Bytes host_os = sc.bed->source()->config().host_os_bytes;
+    wss_probe = sc.bed->cluster().simulation().schedule_periodic(
+        sec(1), [machine, host_ram, host_os](SimTime) {
+          AGILE_TRACE_SPAN("wss", "watermark_probe", 0);
+          std::vector<wss::VmPressure> vms(1);
+          vms[0].name = machine->name();
+          vms[0].wss = machine->memory().resident_bytes();
+          wss::evaluate_watermarks(host_ram, host_os, vms, {});
+        });
   }
   sc.migration = sc.bed->make_migration(opt.technique, *sc.handle);
   sc.migration->start();
@@ -134,5 +162,18 @@ int main(int argc, char** argv) {
   t.add_row({"swap-ins at source", std::to_string(m.pages_swapped_in_at_source)});
   t.add_row({"pre-copy rounds", std::to_string(m.precopy_rounds)});
   std::printf("\n%s", t.to_string().c_str());
+
+  if (opt.trace) {
+    if (wss_probe) wss_probe->cancel();
+    const trace::TraceRecorder& rec = sc.session->recorder();
+    Status st = rec.write_chrome_json(trace_out);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("\n%s", rec.summary().c_str());
+    std::printf("\nwrote %zu trace events to %s\n", rec.event_count(),
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -108,6 +108,10 @@ metrics::TimeSeries Consolidation::average_throughput() const {
 SingleVm make_single_vm(const SingleVmOptions& options) {
   SingleVm scenario;
   scenario.options = options;
+  if (options.trace) {
+    // Installed before the Testbed so VM-creation entity names land in it.
+    scenario.session = std::make_unique<trace::TraceSession>();
+  }
 
   TestbedConfig cfg;
   cfg.cluster.seed = options.seed;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "trace/trace.hpp"
 #include "workload/oltp.hpp"
 #include "workload/ycsb.hpp"
 #include "wss/reservation_controller.hpp"
@@ -79,9 +80,17 @@ struct SingleVmOptions {
   /// Busy client's read share (update-heavy enough to matter for pre-copy).
   double read_fraction = 0.7;
   std::uint64_t seed = 42;
+  /// Record a trace of the run (spans/counters from every layer). Read it
+  /// from `SingleVm::session` after the migration.
+  bool trace = false;
 };
 
 struct SingleVm {
+  /// First member: outlives the testbed so teardown events are captured and
+  /// the recorder stays installed until everything else is destroyed.
+  /// Heap-allocated because SingleVm is moved around (the session's address
+  /// must stay stable — it is installed as the thread's recorder).
+  std::unique_ptr<trace::TraceSession> session;
   SingleVmOptions options;
   std::unique_ptr<Testbed> bed;
   VmHandle* handle = nullptr;

@@ -1,5 +1,7 @@
 #include "core/testbed.hpp"
 
+#include "trace/trace.hpp"
+
 namespace agile::core {
 
 const char* technique_name(Technique technique) {
@@ -76,6 +78,17 @@ VmHandle& Testbed::create_vm(const VmSpec& spec) {
   vm_cfg.memory = spec.memory;
   vm_cfg.reservation = reservation;
   vm_cfg.vcpus = spec.vcpus;
+  // Trace lanes: 0 is the shared/global lane, VMs count from 1 in creation
+  // order (deterministic for a fixed scenario).
+  vm_cfg.trace_id = vms_.size() + 1;
+  memory->set_trace_identity("mem", vm_cfg.trace_id);
+  if (handle->per_vm_swap != nullptr) {
+    handle->per_vm_swap->set_trace_id(vm_cfg.trace_id);
+  }
+  if (trace::TraceRecorder* r = trace::recorder()) {
+    r->set_entity_name(0, "cluster");
+    r->set_entity_name(vm_cfg.trace_id, spec.name);
+  }
   handle->machine = cluster_.adopt_vm(std::make_unique<vm::VirtualMachine>(
       vm_cfg, std::move(memory), source_->node()));
   source_->attach_vm(handle->machine, nullptr);

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace agile::host {
 
 namespace {
-// Lets the logger print simulated time. Thread-local because the parallel
-// bench runner drives one Cluster per worker thread; each thread's log lines
-// carry its own cluster's virtual time.
+// Lets the logger and tracer stamp simulated time. Thread-local because the
+// parallel bench runner drives one Cluster per worker thread; each thread's
+// log lines and trace events carry its own cluster's virtual time.
 thread_local sim::Simulation* g_active_sim = nullptr;
 std::int64_t active_sim_now() { return g_active_sim ? g_active_sim->now() : 0; }
 }  // namespace
@@ -19,6 +20,7 @@ Cluster::Cluster(ClusterConfig config)
   AGILE_CHECK(config_.quantum > 0);
   g_active_sim = &sim_;
   log::set_time_source(&active_sim_now);
+  trace::set_time_source(&active_sim_now);
   quantum_task_ = sim_.schedule_periodic(
       config_.quantum, [this](SimTime now) { quantum(now); });
 }
@@ -28,6 +30,7 @@ Cluster::~Cluster() {
   if (g_active_sim == &sim_) {
     g_active_sim = nullptr;
     log::set_time_source(nullptr);
+    trace::set_time_source(nullptr);
   }
 }
 

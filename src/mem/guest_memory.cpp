@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace agile::mem {
 
 namespace {
@@ -54,6 +56,10 @@ SimTime GuestMemory::touch_slow(PageIndex p, bool write, std::uint32_t tick) {
     case PageState::kSwapped: {
       ++stats_.major_faults;
       ++stats_.swap_ins;
+      if (trace::sample_counter(stats_.swap_ins)) {
+        AGILE_TRACE_COUNTER(trace_component_, "swap_ins", trace_id_,
+                            stats_.swap_ins);
+      }
       latency = swap_->read_page(slot_[p]);
       swapped_.clear(p);
       make_resident(p, tick);
@@ -79,6 +85,8 @@ SimTime GuestMemory::touch_slow(PageIndex p, bool write, std::uint32_t tick) {
 
 void GuestMemory::prefill(std::uint64_t n, std::uint32_t tick) {
   AGILE_CHECK(n <= page_count_);
+  AGILE_TRACE_SPAN(trace_component_, "prefill", trace_id_,
+                   static_cast<double>(n));
   for (PageIndex p = 0; p < n; ++p) touch(p, /*write=*/true, tick);
 }
 
@@ -100,6 +108,10 @@ SimTime GuestMemory::swap_in_for_transfer(PageIndex p, std::uint32_t tick,
   AGILE_CHECK(p < page_count_);
   AGILE_CHECK(state(p) == PageState::kSwapped);
   ++stats_.swap_ins;
+  if (trace::sample_counter(stats_.swap_ins)) {
+    AGILE_TRACE_COUNTER(trace_component_, "swap_ins", trace_id_,
+                        stats_.swap_ins);
+  }
   SimTime latency = sequential ? swap_->read_page_sequential(slot_[p])
                                : swap_->read_page(slot_[p]);
   swapped_.clear(p);
@@ -256,6 +268,7 @@ void GuestMemory::invalidate_range_to_remote(PageIndex begin, PageIndex end,
 }
 
 void GuestMemory::teardown(bool free_slots) {
+  AGILE_TRACE_SPAN(trace_component_, "teardown", trace_id_);
   // Per-page work only exists for touched pages: untouched pages hold no
   // frame and no slot. Word-scan the touched runs, then cover the whole state
   // array (untouched spans included) with one bulk fill.
@@ -334,6 +347,10 @@ void GuestMemory::evict_page(PageIndex p) {
   }
   state_[p] = static_cast<std::uint8_t>(PageState::kSwapped);
   swapped_.set(p);
+  if (trace::sample_counter(stats_.swap_outs + stats_.clean_drops)) {
+    AGILE_TRACE_COUNTER(trace_component_, "evictions", trace_id_,
+                        stats_.swap_outs + stats_.clean_drops);
+  }
 }
 
 void GuestMemory::evict_one() { evict_page(pick_victim()); }

@@ -243,6 +243,14 @@ class GuestMemory {
 
   const MemStats& stats() const { return stats_; }
 
+  /// Trace lane for this memory's events. The VM's own memory traces as
+  /// "mem" on the VM's lane; a migration's destination process uses
+  /// "mem.dest" so the two sides' counters stay on separate tracks.
+  void set_trace_identity(const char* component, std::uint64_t id) {
+    trace_component_ = component;
+    trace_id_ = id;
+  }
+
   /// Ground-truth working set: pages accessed in the last `window_ticks`
   /// relative to `now_tick`. Word-scans the touched bitmap, so idle VMs with
   /// mostly-untouched memory pay O(touched), not O(page_count). Used by the
@@ -329,6 +337,9 @@ class GuestMemory {
 
   Bitmap* dirty_log_ = nullptr;
   MemStats stats_;
+
+  const char* trace_component_ = "mem";  ///< See set_trace_identity().
+  std::uint64_t trace_id_ = 0;
 
   /// Deep-audit decimation counter (see maybe_deep_audit). Mutable: auditing
   /// observes, never changes, simulation state.

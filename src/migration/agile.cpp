@@ -1,5 +1,6 @@
 #include "migration/agile.hpp"
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace agile::migration {
@@ -21,6 +22,7 @@ void AgileMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     source_mem_->attach_dirty_log(&dirty_log_);
     cursor_ = 0;
     phase_ = Phase::kLiveRound;
+    AGILE_TRACE_SPAN_BEGIN("migration", "live_round", trace_id());
   }
   if (phase_ == Phase::kFlipWait) return;
 
@@ -211,6 +213,10 @@ void AgileMigration::end_live_round() {
   AGILE_LOG_INFO("agile %s: live round done, %llu dirty pages owed post-flip",
                  params_.machine->name().c_str(),
                  static_cast<unsigned long long>(dirty_total_));
+  AGILE_TRACE_SPAN_END("migration", "live_round", trace_id());
+  AGILE_TRACE_SPAN_BEGIN("migration", "flip_wait", trace_id());
+  AGILE_TRACE_INSTANT("migration", "round_dirty_left", trace_id(),
+                      static_cast<double>(dirty_total_));
 
   // CPU state + the dirty bitmap travel behind every queued page message.
   Bytes flip_bytes = config_.cpu_state_bytes + (page_count() + 7) / 8;
@@ -219,6 +225,8 @@ void AgileMigration::end_live_round() {
     apply_dirty_invalidations();
     handoff_cold_slots();
     complete_switchover(cluster_->tick_index());
+    AGILE_TRACE_SPAN_END("migration", "flip_wait", trace_id());
+    AGILE_TRACE_SPAN_BEGIN("migration", "push", trace_id());
     params_.machine->set_remote_fault_handler(
         [this](PageIndex p, bool write, std::uint32_t t) {
           return handle_fault(p, write, t);
@@ -300,6 +308,8 @@ SimTime AgileMigration::handle_fault(PageIndex p, bool, std::uint32_t tick) {
   sent_.set(p);
   received_.set(p);
   ++metrics_.pages_demand_served;
+  AGILE_TRACE_INSTANT("migration", "demand_fault", trace_id(),
+                      static_cast<double>(p));
   source_mem_->release_page(p);
   maybe_finish();
   return latency;
@@ -323,6 +333,8 @@ void AgileMigration::handoff_cold_slots() {
   AGILE_LOG_INFO("agile %s: handed %llu cold-page slots to the destination",
                  params_.machine->name().c_str(),
                  static_cast<unsigned long long>(handed_over));
+  AGILE_TRACE_INSTANT("migration", "slot_handoff", trace_id(),
+                      static_cast<double>(handed_over));
 }
 
 void AgileMigration::maybe_finish() {
@@ -335,6 +347,7 @@ void AgileMigration::maybe_finish() {
     received_.deep_audit();
   }
   phase_ = Phase::kDone;
+  AGILE_TRACE_SPAN_END("migration", "push", trace_id());
   params_.machine->clear_remote_fault_handler();
   // Reclaim what the source still holds: frames, swap-cache copies of pages
   // that were sent in full, and re-evicted dirty pages' slots. None of these

@@ -1,5 +1,6 @@
 #include "migration/migration.hpp"
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace agile::migration {
@@ -26,6 +27,8 @@ void MigrationManager::start() {
   started_ = true;
   metrics_.start_time = cluster_->simulation().now();
 
+  AGILE_TRACE_SPAN_BEGIN("migration", "migrate", trace_id());
+
   source_mem_ = &params_.machine->memory();
 
   mem::GuestMemoryConfig dest_cfg;
@@ -36,10 +39,13 @@ void MigrationManager::start() {
       cluster_->make_rng(params_.machine->name() + "/dest-mem"));
   dest_mem_owned_->mark_all_remote();
   dest_mem_ = dest_mem_owned_.get();
+  // The destination process's memory traces on the same lane as the VM but a
+  // separate track, so source evictions and dest installs don't interleave.
+  dest_mem_owned_->set_trace_identity("mem.dest", trace_id());
 
   stream_ = std::make_unique<WireStream>(&cluster_->network(),
                                          params_.source->node(),
-                                         params_.dest->node());
+                                         params_.dest->node(), trace_id());
 
   hook_id_ = cluster_->add_control_hook(
       [this](SimTime now, SimTime dt, std::uint32_t tick) {
@@ -74,6 +80,8 @@ void MigrationManager::complete_switchover(std::uint32_t tick) {
   SimTime now = cluster_->simulation().now();
   metrics_.switchover_time = now;
   metrics_.downtime = now - suspend_time_;
+  AGILE_TRACE_INSTANT("migration", "switchover", trace_id(),
+                      static_cast<double>(metrics_.downtime));
   AGILE_LOG_INFO("%s migration of %s: resumed at destination (downtime %.0f ms)",
                  technique(), machine->name().c_str(),
                  static_cast<double>(metrics_.downtime) / 1000.0);
@@ -90,6 +98,7 @@ void MigrationManager::finish() {
   // `stream_` stays alive until the manager is destroyed: finish() is often
   // reached from inside one of the stream's own delivery callbacks, and late
   // duplicate deliveries may still be in flight.
+  AGILE_TRACE_SPAN_END("migration", "migrate", trace_id());
   AGILE_LOG_INFO("%s migration of %s: complete in %.1f s (%.1f MiB on wire)",
                  technique(), params_.machine->name().c_str(),
                  to_seconds(metrics_.total_time()),

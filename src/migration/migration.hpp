@@ -124,6 +124,8 @@ class MigrationManager {
 
   std::uint64_t page_count() const { return params_.machine->page_count(); }
   Bytes full_page_bytes() const { return kPageSize + config_.page_header; }
+  /// Trace entity id: the migrating VM's lane.
+  std::uint64_t trace_id() const { return params_.machine->config().trace_id; }
 
   host::Cluster* cluster_;
   MigrationParams params_;

@@ -1,5 +1,6 @@
 #include "migration/postcopy.hpp"
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace agile::migration {
@@ -10,9 +11,12 @@ void PostcopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     sent_.reset(page_count(), false);
     received_.reset(page_count(), false);
     begin_suspend();
+    AGILE_TRACE_SPAN_BEGIN("migration", "flip", trace_id());
     metrics_.bytes_transferred += config_.cpu_state_bytes;
     stream_->send(config_.cpu_state_bytes, [this] {
       complete_switchover(cluster_->tick_index());
+      AGILE_TRACE_SPAN_END("migration", "flip", trace_id());
+      AGILE_TRACE_SPAN_BEGIN("migration", "push", trace_id());
       params_.machine->set_remote_fault_handler(
           [this](PageIndex p, bool write, std::uint32_t t) {
             return handle_fault(p, write, t);
@@ -142,6 +146,11 @@ SimTime PostcopyMigration::handle_fault(PageIndex p, bool, std::uint32_t tick) {
   sent_.set(p);
   received_.set(p);
   ++metrics_.pages_demand_served;
+  AGILE_TRACE_INSTANT("migration", "demand_fault", trace_id(),
+                      static_cast<double>(p));
+  AGILE_LOG_EVERY_N(kDebug, 1000, "post-copy %s: %llu demand faults served",
+                    params_.machine->name().c_str(),
+                    static_cast<unsigned long long>(metrics_.pages_demand_served));
   source_mem_->release_page(p);
   maybe_finish();
   return latency;
@@ -166,6 +175,7 @@ void PostcopyMigration::maybe_finish() {
     received_.deep_audit();
   }
   phase_ = Phase::kDone;
+  AGILE_TRACE_SPAN_END("migration", "push", trace_id());
   params_.machine->clear_remote_fault_handler();
   source_mem_->teardown(/*free_slots=*/true);
   finish();

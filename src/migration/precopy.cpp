@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace agile::migration {
@@ -13,6 +14,7 @@ void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     source_mem_->attach_dirty_log(&next_dirty_);
     round_ = 1;
     phase_ = Phase::kLive;
+    AGILE_TRACE_SPAN_BEGIN("migration", "round", trace_id(), 1);
   }
   if (phase_ == Phase::kAwaitResume) return;  // CPU state in flight
 
@@ -127,6 +129,9 @@ void PrecopyMigration::end_of_live_round() {
     next_dirty_.deep_audit();
   }
   std::uint64_t remaining = next_dirty_.count();
+  AGILE_TRACE_SPAN_END("migration", "round", trace_id());
+  AGILE_TRACE_INSTANT("migration", "round_dirty_left", trace_id(),
+                      static_cast<double>(remaining));
   double est_seconds = static_cast<double>(remaining * full_page_bytes()) /
                        cluster_->network().link_bytes_per_sec();
   bool converged = est_seconds * 1e6 <= static_cast<double>(config_.downtime_target);
@@ -140,9 +145,11 @@ void PrecopyMigration::end_of_live_round() {
     next_dirty_.clear_all();
     cursor_ = 0;
     phase_ = Phase::kStopCopy;
+    AGILE_TRACE_SPAN_BEGIN("migration", "stop_copy", trace_id());
     return;
   }
   ++round_;
+  AGILE_TRACE_SPAN_BEGIN("migration", "round", trace_id(), round_);
   std::swap(dirty_, next_dirty_);
   next_dirty_.clear_all();
   cursor_ = 0;
@@ -150,11 +157,14 @@ void PrecopyMigration::end_of_live_round() {
 
 void PrecopyMigration::start_stop_copy() {
   phase_ = Phase::kAwaitResume;
+  AGILE_TRACE_SPAN_END("migration", "stop_copy", trace_id());
+  AGILE_TRACE_SPAN_BEGIN("migration", "await_resume", trace_id());
   metrics_.bytes_transferred += config_.cpu_state_bytes;
   stream_->send(config_.cpu_state_bytes, [this] {
     // Everything was queued ahead of the CPU state on the same stream, so
     // the destination memory is complete when this fires.
     complete_switchover(cluster_->tick_index());
+    AGILE_TRACE_SPAN_END("migration", "await_resume", trace_id());
     source_mem_->teardown(/*free_slots=*/true);
     finish();
   });

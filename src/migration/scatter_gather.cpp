@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace agile::migration {
@@ -25,9 +26,12 @@ void ScatterGatherMigration::on_tick(SimTime now, SimTime dt,
     handled_.reset(page_count(), false);
     scattered_slot_.assign(page_count(), swap::kNoSlot);
     begin_suspend();
+    AGILE_TRACE_SPAN_BEGIN("migration", "flip_wait", trace_id());
     metrics_.bytes_transferred += config_.cpu_state_bytes;
     stream_->send(config_.cpu_state_bytes, [this] {
       complete_switchover(cluster_->tick_index());
+      AGILE_TRACE_SPAN_END("migration", "flip_wait", trace_id());
+      AGILE_TRACE_SPAN_BEGIN("migration", "scatter", trace_id());
       params_.machine->set_remote_fault_handler(
           [this](PageIndex p, bool write, std::uint32_t t) {
             return handle_fault(p, write, t);
@@ -154,16 +158,21 @@ void ScatterGatherMigration::gather(SimTime dt, std::uint32_t tick) {
   double byte_budget =
       cluster_->network().link_bytes_per_sec() * to_seconds(dt) * 0.5;
   mem::GuestMemory* dest = dest_mem_;
+  const std::uint64_t gathered_before = pages_gathered_;
   while (byte_budget > 0) {
-    if (dest->resident_pages() + 1 > dest->reservation_pages()) return;
+    if (dest->resident_pages() + 1 > dest->reservation_pages()) break;
     // Next gatherable page (installed as swapped at the dest): word-scan the
     // destination's swapped bitmap instead of walking the state array.
     std::size_t candidate = dest->swapped_bitmap().find_next_set(gather_cursor_);
-    if (candidate == Bitmap::npos) return;
+    if (candidate == Bitmap::npos) break;
     gather_cursor_ = candidate + 1;
     dest->swap_in_for_transfer(candidate, tick);
     ++pages_gathered_;
     byte_budget -= kPageSize;
+  }
+  if (pages_gathered_ != gathered_before) {
+    AGILE_TRACE_COUNTER("migration", "gathered_pages", trace_id(),
+                        pages_gathered_);
   }
 }
 
@@ -204,6 +213,8 @@ SimTime ScatterGatherMigration::handle_fault(PageIndex p, bool,
       net.consume_background(src, dst, full_page_bytes());
       metrics_.bytes_transferred += full_page_bytes();
       ++metrics_.pages_demand_served;
+      AGILE_TRACE_INSTANT("migration", "demand_fault", trace_id(),
+                          static_cast<double>(p));
       dest_mem_->install_resident(p, tick);
       break;
     case mem::PageState::kRemote:
@@ -219,8 +230,11 @@ SimTime ScatterGatherMigration::handle_fault(PageIndex p, bool,
 void ScatterGatherMigration::maybe_finish_scatter() {
   if (phase_ == Phase::kDone) return;
   if (handled_.count() != page_count() || !stream_->idle()) {
-    if (handled_.count() == page_count() && !stream_->idle()) {
+    if (handled_.count() == page_count() && !stream_->idle() &&
+        phase_ == Phase::kScatter) {
       phase_ = Phase::kGatherOnly;  // descriptors still draining
+      AGILE_TRACE_SPAN_END("migration", "scatter", trace_id());
+      AGILE_TRACE_SPAN_BEGIN("migration", "drain", trace_id());
     }
     return;
   }
@@ -232,6 +246,9 @@ void ScatterGatherMigration::maybe_finish_scatter() {
         << ") than guest pages";
     handled_.deep_audit();
   }
+  AGILE_TRACE_SPAN_END(
+      "migration", phase_ == Phase::kGatherOnly ? "drain" : "scatter",
+      trace_id());
   phase_ = Phase::kDone;
   scatter_done_ = cluster_->simulation().now();
   params_.machine->clear_remote_fault_handler();

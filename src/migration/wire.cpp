@@ -1,18 +1,28 @@
 #include "migration/wire.hpp"
 
+#include "trace/trace.hpp"
+
 namespace agile::migration {
 
-WireStream::WireStream(net::Network* network, net::NodeId src, net::NodeId dst)
-    : network_(network) {
+WireStream::WireStream(net::Network* network, net::NodeId src, net::NodeId dst,
+                       std::uint64_t trace_id)
+    : network_(network), trace_id_(trace_id) {
   AGILE_CHECK(network_ != nullptr);
   flow_ = network_->open_flow(src, dst, [this](Bytes n) { on_progress(n); });
 }
 
-WireStream::~WireStream() { network_->close_flow(flow_); }
+WireStream::~WireStream() {
+  if (busy_span_open_) AGILE_TRACE_SPAN_END("wire", "busy", trace_id_);
+  network_->close_flow(flow_);
+}
 
 void WireStream::send_batch(std::uint64_t items, Bytes item_bytes,
                             ChunkFn on_items) {
   AGILE_CHECK(items > 0 && item_bytes > 0);
+  if (!busy_span_open_ && trace::enabled()) {
+    AGILE_TRACE_SPAN_BEGIN("wire", "busy", trace_id_);
+    busy_span_open_ = true;
+  }
   queue_.push_back({item_bytes, items, 0, std::move(on_items)});
   offered_ += items * item_bytes;
   items_offered_ += items;
@@ -44,6 +54,11 @@ void WireStream::audit_conservation() const {
 
 void WireStream::on_progress(Bytes n) {
   delivered_ += n;
+  // Per-quantum stream telemetry (the flow delivers once per network
+  // quantum): backlog after this delivery, cumulative bytes received.
+  AGILE_TRACE_COUNTER("wire", "backlog_bytes", trace_id_,
+                      network_->backlog(flow_));
+  AGILE_TRACE_COUNTER("wire", "delivered_bytes", trace_id_, delivered_);
   while (n > 0 && !queue_.empty()) {
     // Deque references stay valid across push_back, so callbacks may queue
     // more messages while `m` is still the front entry.
@@ -77,6 +92,10 @@ void WireStream::on_progress(Bytes n) {
   // The FIFO must never over-deliver: leftover bytes with an empty queue
   // would mean the network handed us more than was ever offered.
   AGILE_CHECK_S(n == 0) << "wire stream over-delivered by " << n << " bytes";
+  if (busy_span_open_ && queue_.empty()) {
+    AGILE_TRACE_SPAN_END("wire", "busy", trace_id_);
+    busy_span_open_ = false;
+  }
   if (audit::enabled()) audit_conservation();
 }
 

@@ -31,7 +31,9 @@ class WireStream {
   /// (>= 1) fully delivered, in send order, possibly several times per batch.
   using ChunkFn = InlineFunction<void(std::uint64_t)>;
 
-  WireStream(net::Network* network, net::NodeId src, net::NodeId dst);
+  /// `trace_id` is the trace-lane of the owning migration's VM (0 = global).
+  WireStream(net::Network* network, net::NodeId src, net::NodeId dst,
+             std::uint64_t trace_id = 0);
   ~WireStream();
 
   WireStream(const WireStream&) = delete;
@@ -87,6 +89,8 @@ class WireStream {
 
   net::Network* network_;
   net::FlowId flow_;
+  std::uint64_t trace_id_ = 0;
+  bool busy_span_open_ = false;  ///< A "wire/busy" trace span is open.
   std::deque<Message> queue_;
   Bytes delivered_ = 0;
   Bytes offered_ = 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "trace/trace.hpp"
+
 namespace agile::net {
 
 Network::Network(NetworkConfig config) : config_(config) {
@@ -173,6 +175,19 @@ void Network::advance(SimTime dt) {
     n.util_rx = std::min(1.0, (flow_rx[i] + static_cast<double>(n.background_rx)) / raw_capacity);
     n.background_tx = 0;
     n.background_rx = 0;
+  }
+
+  // Fabric-level telemetry on the global lane: one sample per quantum while
+  // any flow is active (idle quanta add nothing to the trace).
+  if (trace::enabled() && !active.empty()) {
+    Bytes backlog_total = 0;
+    for (const auto& [id, f] : flows_) backlog_total += f.backlog;
+    Bytes delivered_quantum = 0;
+    for (const Delivery& d : deliveries) delivered_quantum += d.bytes;
+    delivered_total_ += delivered_quantum;
+    AGILE_TRACE_COUNTER("net", "backlog_bytes", 0, backlog_total);
+    AGILE_TRACE_COUNTER("net", "delivered_bytes", 0, delivered_total_);
+    AGILE_TRACE_COUNTER("net", "active_flows", 0, active.size());
   }
 
   for (const Delivery& d : deliveries) d.fn(d.bytes);

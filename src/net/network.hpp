@@ -116,6 +116,7 @@ class Network {
   std::vector<Node> nodes_;
   FlowId next_flow_id_ = 1;
   std::unordered_map<FlowId, Flow> flows_;
+  Bytes delivered_total_ = 0;  ///< Flow bytes delivered while traced.
 };
 
 }  // namespace agile::net

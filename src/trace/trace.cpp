@@ -1,0 +1,326 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/check.hpp"
+
+namespace agile::trace {
+namespace {
+
+// Thread-local, mirroring the logger: each sweep worker traces (or doesn't)
+// its own simulation without synchronization or cross-talk.
+thread_local TraceRecorder* g_recorder = nullptr;
+thread_local std::int64_t (*g_time_source)() = nullptr;
+
+/// Appends `v` to `out` as a JSON number. Integral values print without a
+/// fractional part (counters are almost always byte/page counts); the rest
+/// use %.17g which round-trips doubles exactly.
+void append_json_number(std::string* out, double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+/// JSON string escaping for component/entity names (conservative: names are
+/// identifiers in practice, but a VM name could contain anything).
+void append_json_string(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::int64_t total = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+struct CounterStats {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+}  // namespace
+
+TraceRecorder* recorder() { return g_recorder; }
+
+TraceRecorder* set_recorder(TraceRecorder* r) {
+  TraceRecorder* prev = g_recorder;
+  g_recorder = r;
+  return prev;
+}
+
+void set_time_source(std::int64_t (*now_usec)()) { g_time_source = now_usec; }
+
+std::int64_t now_usec() {
+  return g_time_source != nullptr ? g_time_source() : 0;
+}
+
+void TraceRecorder::record(EventKind kind, const char* component,
+                           const char* name, std::uint64_t id, double value) {
+  AGILE_DCHECK(component != nullptr && name != nullptr);
+  events_.push_back(TraceEvent{kind, component, name, id, now_usec(), value});
+}
+
+void TraceRecorder::begin_span(const char* component, const char* name,
+                               std::uint64_t id, double value) {
+  record(EventKind::kBegin, component, name, id, value);
+}
+
+void TraceRecorder::end_span(const char* component, const char* name,
+                             std::uint64_t id) {
+  record(EventKind::kEnd, component, name, id, 0);
+}
+
+void TraceRecorder::instant(const char* component, const char* name,
+                            std::uint64_t id, double value) {
+  record(EventKind::kInstant, component, name, id, value);
+}
+
+void TraceRecorder::counter(const char* component, const char* name,
+                            std::uint64_t id, double value) {
+  record(EventKind::kCounter, component, name, id, value);
+}
+
+void TraceRecorder::set_entity_name(std::uint64_t id, const std::string& name) {
+  entity_names_[id] = name;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  // Entity id -> Chrome pid (id+1: pid 0 renders oddly), component -> tid
+  // interned by *content* in first-appearance order so exports stay
+  // byte-identical regardless of which TU's copy of a literal we saw first.
+  std::map<std::string, int> tids;
+  auto tid_of = [&tids](const char* component) {
+    auto it = tids.find(component);
+    if (it != tids.end()) return it->second;
+    int tid = static_cast<int>(tids.size()) + 1;
+    tids.emplace(component, tid);
+    return tid;
+  };
+
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out.append("{\"traceEvents\":[\n");
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) out.append(",\n");
+    first = false;
+  };
+
+  // Metadata first: process names for named entities, then thread names for
+  // every (entity, component) pair that appears in the buffer.
+  for (const auto& [id, name] : entity_names_) {
+    comma();
+    out.append("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
+    append_json_number(&out, static_cast<double>(id + 1));
+    out.append(",\"tid\":0,\"args\":{\"name\":");
+    append_json_string(&out, name.c_str());
+    out.append("}}");
+  }
+  std::map<std::pair<std::uint64_t, int>, const char*> thread_names;
+  for (const TraceEvent& e : events_) {
+    thread_names.emplace(std::make_pair(e.id, tid_of(e.component)), e.component);
+  }
+  for (const auto& [key, component] : thread_names) {
+    comma();
+    out.append("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":");
+    append_json_number(&out, static_cast<double>(key.first + 1));
+    out.append(",\"tid\":");
+    append_json_number(&out, key.second);
+    out.append(",\"args\":{\"name\":");
+    append_json_string(&out, component);
+    out.append("}}");
+  }
+
+  for (const TraceEvent& e : events_) {
+    comma();
+    out.append("{\"ph\":\"");
+    switch (e.kind) {
+      case EventKind::kBegin: out.push_back('B'); break;
+      case EventKind::kEnd: out.push_back('E'); break;
+      case EventKind::kInstant: out.push_back('i'); break;
+      case EventKind::kCounter: out.push_back('C'); break;
+    }
+    out.append("\",\"ts\":");
+    append_json_number(&out, static_cast<double>(e.ts));
+    out.append(",\"pid\":");
+    append_json_number(&out, static_cast<double>(e.id + 1));
+    out.append(",\"tid\":");
+    append_json_number(&out, tid_of(e.component));
+    if (e.kind != EventKind::kEnd) {
+      out.append(",\"name\":");
+      append_json_string(&out, e.name);
+    }
+    switch (e.kind) {
+      case EventKind::kBegin:
+        if (e.value != 0) {
+          out.append(",\"args\":{\"v\":");
+          append_json_number(&out, e.value);
+          out.append("}");
+        }
+        break;
+      case EventKind::kEnd:
+        break;
+      case EventKind::kInstant:
+        out.append(",\"s\":\"t\"");
+        if (e.value != 0) {
+          out.append(",\"args\":{\"v\":");
+          append_json_number(&out, e.value);
+          out.append("}");
+        }
+        break;
+      case EventKind::kCounter:
+        out.append(",\"args\":{\"value\":");
+        append_json_number(&out, e.value);
+        out.append("}");
+        break;
+    }
+    out.append("}");
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+Status TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::string json = to_chrome_json();
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;  // fopen below reports the real failure
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return unavailable("trace: cannot open '" + path + "' for writing");
+  }
+  std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return unavailable("trace: short write to '" + path + "'");
+  }
+  return Status::ok();
+}
+
+std::string TraceRecorder::summary() const {
+  using Key = std::pair<std::string, std::string>;  // (component, name)
+  std::map<Key, SpanStats> spans;
+  std::map<Key, CounterStats> counters;
+  std::map<Key, std::uint64_t> instants;
+  // Open-begin stack per (component, name, id): spans of the same name nest
+  // LIFO (rounds are sequential; recursion would be same-name nesting).
+  std::map<std::tuple<std::string, std::string, std::uint64_t>,
+           std::vector<std::int64_t>> open;
+  std::uint64_t unmatched = 0;
+
+  for (const TraceEvent& e : events_) {
+    Key key{e.component, e.name};
+    switch (e.kind) {
+      case EventKind::kBegin:
+        open[{e.component, e.name, e.id}].push_back(e.ts);
+        break;
+      case EventKind::kEnd: {
+        auto it = open.find({e.component, e.name, e.id});
+        if (it == open.end() || it->second.empty()) {
+          ++unmatched;
+          break;
+        }
+        std::int64_t dur = e.ts - it->second.back();
+        it->second.pop_back();
+        SpanStats& s = spans[key];
+        if (s.count == 0 || dur < s.min) s.min = dur;
+        if (s.count == 0 || dur > s.max) s.max = dur;
+        ++s.count;
+        s.total += dur;
+        break;
+      }
+      case EventKind::kInstant:
+        ++instants[key];
+        break;
+      case EventKind::kCounter: {
+        CounterStats& c = counters[key];
+        if (c.count == 0 || e.value < c.min) c.min = e.value;
+        if (c.count == 0 || e.value > c.max) c.max = e.value;
+        ++c.count;
+        c.sum += e.value;
+        break;
+      }
+    }
+  }
+  std::uint64_t still_open = 0;
+  for (const auto& [key, stack] : open) still_open += stack.size();
+
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line), "trace: %zu events\n", events_.size());
+  out.append(line);
+  if (!spans.empty()) {
+    out.append("  spans (count, total/min/max ms):\n");
+    for (const auto& [key, s] : spans) {
+      std::snprintf(line, sizeof(line),
+                    "    %-28s %6llu  %10.3f %10.3f %10.3f\n",
+                    (key.first + "/" + key.second).c_str(),
+                    static_cast<unsigned long long>(s.count),
+                    static_cast<double>(s.total) / 1e3,
+                    static_cast<double>(s.min) / 1e3,
+                    static_cast<double>(s.max) / 1e3);
+      out.append(line);
+    }
+  }
+  if (!counters.empty()) {
+    out.append("  counters (samples, min/mean/max):\n");
+    for (const auto& [key, c] : counters) {
+      std::snprintf(line, sizeof(line),
+                    "    %-28s %6llu  %12.0f %14.1f %12.0f\n",
+                    (key.first + "/" + key.second).c_str(),
+                    static_cast<unsigned long long>(c.count), c.min,
+                    c.sum / static_cast<double>(c.count), c.max);
+      out.append(line);
+    }
+  }
+  if (!instants.empty()) {
+    out.append("  instants (count):\n");
+    for (const auto& [key, n] : instants) {
+      std::snprintf(line, sizeof(line), "    %-28s %6llu\n",
+                    (key.first + "/" + key.second).c_str(),
+                    static_cast<unsigned long long>(n));
+      out.append(line);
+    }
+  }
+  if (unmatched != 0 || still_open != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  (%llu unmatched ends, %llu spans still open)\n",
+                  static_cast<unsigned long long>(unmatched),
+                  static_cast<unsigned long long>(still_open));
+    out.append(line);
+  }
+  return out;
+}
+
+}  // namespace agile::trace

@@ -1,0 +1,194 @@
+// Deterministic, simulated-time tracing.
+//
+// A `TraceRecorder` collects phase spans, instant events and counter samples
+// from every layer of the simulator into one append-only buffer. Timestamps
+// come from the simulated clock (the same thread-local hook the logger uses),
+// never from the wall clock, so a trace is a pure function of the scenario
+// and seed: the golden-trace test asserts byte-identical exports across
+// sweep-worker counts and audit modes.
+//
+// Recording is off unless a recorder is installed on the current thread
+// (`TraceSession` does this RAII-style). The AGILE_TRACE_* macros compile to
+// a thread-local load plus a branch when disabled — cheap enough to leave in
+// cold and warm paths permanently. Hot inner loops (e.g. GuestMemory::touch)
+// are deliberately left uninstrumented.
+//
+// Export formats:
+//  * Chrome trace_event JSON (load in chrome://tracing or ui.perfetto.dev):
+//    entity id -> process, component -> thread, so one migration's engine
+//    phases, wire activity and memory churn line up on adjacent tracks.
+//  * A compact text summary (span durations, counter min/mean/max, event
+//    counts) for terminals and diffs; tools/trace_report.py reads the JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace agile::trace {
+
+enum class EventKind : std::uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+/// One trace record. `component` and `name` must be string literals (or
+/// otherwise outlive the recorder); events store the pointers, and the
+/// exporter interns by content so duplicate literals across TUs are fine.
+struct TraceEvent {
+  EventKind kind = EventKind::kInstant;
+  const char* component = nullptr;
+  const char* name = nullptr;
+  std::uint64_t id = 0;  // entity id: VM index, namespace id, 0 = global
+  std::int64_t ts = 0;   // simulated microseconds
+  double value = 0;      // counter sample / instant or span argument
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void begin_span(const char* component, const char* name, std::uint64_t id,
+                  double value = 0);
+  void end_span(const char* component, const char* name, std::uint64_t id);
+  void instant(const char* component, const char* name, std::uint64_t id,
+               double value = 0);
+  void counter(const char* component, const char* name, std::uint64_t id,
+               double value);
+
+  /// Names the entity (Chrome "process") for `id`, e.g. a VM's name. Safe to
+  /// call repeatedly; the last name wins.
+  void set_entity_name(std::uint64_t id, const std::string& name);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}). Deterministic: event
+  /// order is record order, tids are interned in first-appearance order, and
+  /// metadata is emitted from ordered maps.
+  std::string to_chrome_json() const;
+  Status write_chrome_json(const std::string& path) const;
+
+  /// Compact text summary: span duration stats, counter min/mean/max and
+  /// instant counts, grouped by component/name in sorted order.
+  std::string summary() const;
+
+ private:
+  void record(EventKind kind, const char* component, const char* name,
+              std::uint64_t id, double value);
+
+  std::vector<TraceEvent> events_;
+  std::map<std::uint64_t, std::string> entity_names_;
+};
+
+/// Recorder installed on the current thread, or nullptr when tracing is off.
+TraceRecorder* recorder();
+
+/// Installs `r` as the current thread's recorder and returns the previous
+/// one. Thread-local, like the logger's time source: each sweep worker runs
+/// its simulation with its own recorder (or none).
+TraceRecorder* set_recorder(TraceRecorder* r);
+
+inline bool enabled() { return recorder() != nullptr; }
+
+/// Deterministic 1-in-`period` sampling for per-page-operation counters
+/// (evictions, swap-ins, namespace I/O): true on the first event and every
+/// `period`-th thereafter. Keyed by a monotonic count — never time or rate —
+/// so sampled traces remain a pure function of the scenario and seed.
+constexpr bool sample_counter(std::uint64_t count, std::uint64_t period = 64) {
+  return count == 1 || count % period == 0;
+}
+
+/// Registers the simulated-clock hook used to timestamp events; installed by
+/// Cluster alongside the logger's time source. Pass nullptr to detach.
+void set_time_source(std::int64_t (*now_usec)());
+
+/// Current simulated time per the installed hook, or 0 when detached.
+std::int64_t now_usec();
+
+/// Owns a recorder and installs it on the current thread for its lifetime
+/// (restoring the previous recorder on destruction). Create the session
+/// before the Testbed so construction-time events are captured, and keep its
+/// address stable (heap-allocate if the owner is moved around).
+class TraceSession {
+ public:
+  TraceSession() : previous_(set_recorder(&recorder_)) {}
+  ~TraceSession() { set_recorder(previous_); }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  TraceRecorder& recorder() { return recorder_; }
+
+ private:
+  TraceRecorder recorder_;
+  TraceRecorder* previous_;
+};
+
+/// RAII span used by AGILE_TRACE_SPAN. Captures the recorder at construction
+/// so begin/end pair up even if a nested call swaps recorders (tests do).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* component, const char* name, std::uint64_t id,
+             double value = 0)
+      : recorder_(trace::recorder()), component_(component), name_(name), id_(id) {
+    if (recorder_ != nullptr) recorder_->begin_span(component_, name_, id_, value);
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->end_span(component_, name_, id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* component_;
+  const char* name_;
+  std::uint64_t id_;
+};
+
+}  // namespace agile::trace
+
+#define AGILE_TRACE_CONCAT_INNER(a, b) a##b
+#define AGILE_TRACE_CONCAT(a, b) AGILE_TRACE_CONCAT_INNER(a, b)
+
+/// Scoped span: begins on entry, ends when the enclosing scope exits.
+/// Optional trailing argument is exported as the span's "v" arg.
+#define AGILE_TRACE_SPAN(component, name, id, ...)                       \
+  ::agile::trace::ScopedSpan AGILE_TRACE_CONCAT(agile_trace_span_,       \
+                                                __LINE__)(              \
+      (component), (name), (id), ##__VA_ARGS__)
+
+/// Explicit begin/end pair for phases that open and close in different
+/// scopes (e.g. a migration phase spanning many simulation quanta).
+#define AGILE_TRACE_SPAN_BEGIN(component, name, id, ...)                     \
+  do {                                                                       \
+    if (::agile::trace::TraceRecorder* agile_trace_r =                       \
+            ::agile::trace::recorder())                                      \
+      agile_trace_r->begin_span((component), (name), (id), ##__VA_ARGS__);   \
+  } while (0)
+
+#define AGILE_TRACE_SPAN_END(component, name, id)                      \
+  do {                                                                 \
+    if (::agile::trace::TraceRecorder* agile_trace_r =                 \
+            ::agile::trace::recorder())                                \
+      agile_trace_r->end_span((component), (name), (id));              \
+  } while (0)
+
+/// Point event (Chrome "instant"); `value` lands in the event's args.
+#define AGILE_TRACE_INSTANT(component, name, id, ...)                    \
+  do {                                                                   \
+    if (::agile::trace::TraceRecorder* agile_trace_r =                   \
+            ::agile::trace::recorder())                                  \
+      agile_trace_r->instant((component), (name), (id), ##__VA_ARGS__);  \
+  } while (0)
+
+/// Counter sample: the current value of a monotonic or gauge-style series.
+#define AGILE_TRACE_COUNTER(component, name, id, value)                    \
+  do {                                                                     \
+    if (::agile::trace::TraceRecorder* agile_trace_r =                     \
+            ::agile::trace::recorder())                                    \
+      agile_trace_r->counter((component), (name), (id),                    \
+                             static_cast<double>(value));                  \
+  } while (0)

@@ -5,6 +5,7 @@
 // tests and benches stay quiet; examples turn on INFO.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 
@@ -30,3 +31,17 @@ void write(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2
 #define AGILE_LOG_INFO(...) ::agile::log::write(::agile::LogLevel::kInfo, __VA_ARGS__)
 #define AGILE_LOG_WARN(...) ::agile::log::write(::agile::LogLevel::kWarn, __VA_ARGS__)
 #define AGILE_LOG_ERROR(...) ::agile::log::write(::agile::LogLevel::kError, __VA_ARGS__)
+
+/// Rate-limited logging for chatty (e.g. per-page) paths: emits on the 1st,
+/// (n+1)-th, (2n+1)-th ... execution of this statement. `level` is a bare
+/// LogLevel enumerator (kDebug/kInfo/kWarn/kError). The counter is
+/// per-call-site and process-wide, so suppression spans threads; the log
+/// stream is diagnostics, not a deterministic artifact.
+#define AGILE_LOG_EVERY_N(level, n, ...)                                      \
+  do {                                                                        \
+    static ::std::atomic<::std::uint64_t> agile_log_every_count{0};           \
+    if (agile_log_every_count.fetch_add(1, ::std::memory_order_relaxed) %     \
+            (n) ==                                                            \
+        0)                                                                    \
+      ::agile::log::write(::agile::LogLevel::level, __VA_ARGS__);             \
+  } while (0)

@@ -23,6 +23,9 @@ struct VmConfig {
   Bytes memory = 1_GiB;
   Bytes reservation = 1_GiB;
   std::uint32_t vcpus = 2;
+  /// Entity id used by the trace layer (Chrome "process" lane). Assigned by
+  /// Testbed at creation; 0 is the shared/global lane.
+  std::uint64_t trace_id = 0;
 };
 
 class VirtualMachine final : public workload::PageAccessor {

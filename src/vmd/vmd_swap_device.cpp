@@ -1,5 +1,7 @@
 #include "vmd/vmd_swap_device.hpp"
 
+#include "trace/trace.hpp"
+
 namespace agile::vmd {
 
 VmdSwapDevice::VmdSwapDevice(std::string name, VmdClient* client, Bytes capacity)
@@ -20,6 +22,9 @@ SimTime VmdSwapDevice::read_page(swap::SwapSlot slot) {
   ++stats_.window_reads;
   stats_.bytes_read += kPageSize;
   stats_.window_bytes_read += kPageSize;
+  if (trace::sample_counter(stats_.reads)) {
+    AGILE_TRACE_COUNTER("vmd", "ns_reads", trace_id_, stats_.reads);
+  }
   return client_->read_page(ns_, slot);
 }
 
@@ -28,6 +33,9 @@ void VmdSwapDevice::write_page(swap::SwapSlot slot) {
   ++stats_.window_writes;
   stats_.bytes_written += kPageSize;
   stats_.window_bytes_written += kPageSize;
+  if (trace::sample_counter(stats_.writes)) {
+    AGILE_TRACE_COUNTER("vmd", "ns_writes", trace_id_, stats_.writes);
+  }
   client_->write_page(ns_, slot);
 }
 

@@ -37,6 +37,10 @@ class VmdSwapDevice final : public swap::SwapDevice {
   NamespaceId namespace_id() const { return ns_; }
   VmdClient* client() const { return client_; }
 
+  /// Trace lane for this namespace's read/write counters (the owning VM's
+  /// lane; set by the testbed when the device is bound to a VM).
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+
   /// Pages physically stored in the VMD for this namespace.
   std::uint64_t stored_pages() const { return client_->namespace_pages(ns_); }
 
@@ -46,6 +50,7 @@ class VmdSwapDevice final : public swap::SwapDevice {
   NamespaceId ns_;
   swap::SlotAllocator slots_;
   storage::DeviceStats stats_;
+  std::uint64_t trace_id_ = 0;
 };
 
 }  // namespace agile::vmd

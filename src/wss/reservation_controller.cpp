@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace agile::wss {
@@ -67,6 +68,12 @@ void ReservationController::on_interval(SimTime now) {
                              config_.max_reservation);
   machine_->memory().set_reservation(clamped);
   ++adjustments_;
+  AGILE_TRACE_INSTANT("wss", grow ? "grow" : "shrink",
+                      machine_->config().trace_id,
+                      static_cast<double>(clamped));
+  AGILE_TRACE_COUNTER("wss", "reservation_bytes", machine_->config().trace_id,
+                      clamped);
+  AGILE_TRACE_COUNTER("wss", "swapin_rate", machine_->config().trace_id, rate);
 
   // Cadence control: a trending estimate keeps the 2 s cadence; once it
   // merely oscillates around the working set we relax to 30 s. A value
@@ -86,6 +93,8 @@ void ReservationController::on_interval(SimTime now) {
         static_cast<double>(lo) * config_.stability_ratio) {
       stable_ = true;
       task_->set_period(config_.slow_interval);
+      AGILE_TRACE_INSTANT("wss", "stable", machine_->config().trace_id,
+                          static_cast<double>(reservation));
       AGILE_LOG_INFO("wss %s: stable at %.0f MiB, relaxing to %.0f s cadence",
                      machine_->name().c_str(), to_mib(reservation),
                      to_seconds(config_.slow_interval));
@@ -101,6 +110,8 @@ void ReservationController::on_interval(SimTime now) {
     recent_.clear();
     high_streak_ = 0;
     task_->set_period(config_.fast_interval);
+    AGILE_TRACE_INSTANT("wss", "fast_cadence", machine_->config().trace_id,
+                        rate);
     AGILE_LOG_INFO("wss %s: sustained pressure, back to fast cadence",
                    machine_->name().c_str());
   }

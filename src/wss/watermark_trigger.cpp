@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "trace/trace.hpp"
+
 namespace agile::wss {
 
 TriggerDecision evaluate_watermarks(Bytes host_ram, Bytes host_os_bytes,
@@ -19,6 +21,8 @@ TriggerDecision evaluate_watermarks(Bytes host_ram, Bytes host_os_bytes,
   const auto low = static_cast<Bytes>(config.low * static_cast<double>(host_ram));
   if (aggregate <= high) return decision;
   decision.pressure = true;
+  AGILE_TRACE_INSTANT("wss", "watermark_pressure", 0,
+                      static_cast<double>(aggregate));
 
   // Fewest VMs: evict the largest working sets first until we're under the
   // low watermark (ties broken by input order for determinism).

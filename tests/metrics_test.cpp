@@ -58,6 +58,44 @@ TEST(TimeSeries, TimeToReachWithHoldSkipsTransients) {
   EXPECT_DOUBLE_EQ(ts.time_to_reach(85.0, 0, 1.5), 3.0);
 }
 
+TEST(TimeSeries, MeanBetweenEdgeCases) {
+  TimeSeries empty("empty");
+  EXPECT_DOUBLE_EQ(empty.mean_between(0, 10), 0.0);
+
+  TimeSeries ts = ramp();
+  // Inverted window selects nothing.
+  EXPECT_DOUBLE_EQ(ts.mean_between(6, 4), 0.0);
+  // The window is closed on both ends: boundary samples are included.
+  EXPECT_DOUBLE_EQ(ts.mean_between(4, 4), 40.0);
+  EXPECT_DOUBLE_EQ(ts.mean_between(0, 0), 0.0);   // sample (0, 0)
+  EXPECT_DOUBLE_EQ(ts.mean_between(10, 10), 100.0);
+  EXPECT_DOUBLE_EQ(ts.mean_between(9, 10), 95.0);
+  // Window straddling the series' end clips to existing samples.
+  EXPECT_DOUBLE_EQ(ts.mean_between(9.5, 20), 100.0);
+}
+
+TEST(TimeSeries, TimeToReachEdgeCases) {
+  TimeSeries empty("empty");
+  EXPECT_DOUBLE_EQ(empty.time_to_reach(1.0, 0), -1.0);
+
+  TimeSeries ts = ramp();
+  // `from` past the last sample: nothing qualifies.
+  EXPECT_DOUBLE_EQ(ts.time_to_reach(10.0, 11.0), -1.0);
+  // `from` exactly on a qualifying sample counts (>= from, not >).
+  EXPECT_DOUBLE_EQ(ts.time_to_reach(60.0, 6.0), 6.0);
+  // Threshold met exactly at a sample value counts (>= threshold).
+  EXPECT_DOUBLE_EQ(ts.time_to_reach(60.0, 0), 6.0);
+  // A hold window running past the series' end still succeeds as long as
+  // every remaining sample stays at or above the threshold.
+  EXPECT_DOUBLE_EQ(ts.time_to_reach(90.0, 0, 100.0), 9.0);
+  // Value that dips below the threshold at the end is rejected under hold.
+  TimeSeries dip("dip");
+  dip.add(0, 100);
+  dip.add(1, 100);
+  dip.add(2, 0);
+  EXPECT_DOUBLE_EQ(dip.time_to_reach(50.0, 0, 5.0), -1.0);
+}
+
 TEST(TimeSeries, ValueAtIsLastSampleAtOrBefore) {
   TimeSeries ts = ramp();
   EXPECT_DOUBLE_EQ(ts.value_at(4.5), 40.0);

@@ -1,0 +1,240 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/scenarios.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace agile {
+namespace {
+
+std::int64_t g_fake_now = 0;
+std::int64_t fake_now() { return g_fake_now; }
+
+/// Installs a controllable clock for the recorder unit tests and detaches it
+/// on exit so scenario-driven tests get the cluster's clock again.
+class ScopedFakeClock {
+ public:
+  ScopedFakeClock() {
+    g_fake_now = 0;
+    trace::set_time_source(&fake_now);
+  }
+  ~ScopedFakeClock() { trace::set_time_source(nullptr); }
+};
+
+TEST(TraceRecorder, RecordsAllEventKinds) {
+  ScopedFakeClock clock;
+  trace::TraceRecorder rec;
+  g_fake_now = 10;
+  rec.begin_span("engine", "round", 1, 2.0);
+  g_fake_now = 30;
+  rec.instant("engine", "switchover", 1);
+  g_fake_now = 40;
+  rec.counter("net", "backlog", 0, 512);
+  g_fake_now = 50;
+  rec.end_span("engine", "round", 1);
+
+  ASSERT_EQ(rec.event_count(), 4u);
+  const auto& ev = rec.events();
+  EXPECT_EQ(ev[0].kind, trace::EventKind::kBegin);
+  EXPECT_EQ(ev[0].ts, 10);
+  EXPECT_DOUBLE_EQ(ev[0].value, 2.0);
+  EXPECT_EQ(ev[1].kind, trace::EventKind::kInstant);
+  EXPECT_EQ(ev[2].kind, trace::EventKind::kCounter);
+  EXPECT_DOUBLE_EQ(ev[2].value, 512);
+  EXPECT_EQ(ev[3].kind, trace::EventKind::kEnd);
+  EXPECT_EQ(ev[3].ts, 50);
+}
+
+TEST(TraceRecorder, MacrosAreNoOpsWithoutARecorder) {
+  ASSERT_EQ(trace::recorder(), nullptr);
+  EXPECT_FALSE(trace::enabled());
+  // None of these may crash or allocate a recorder.
+  AGILE_TRACE_SPAN_BEGIN("x", "y", 0);
+  AGILE_TRACE_SPAN_END("x", "y", 0);
+  AGILE_TRACE_INSTANT("x", "y", 0);
+  AGILE_TRACE_COUNTER("x", "y", 0, 1);
+  { AGILE_TRACE_SPAN("x", "scoped", 0); }
+  EXPECT_FALSE(trace::enabled());
+}
+
+TEST(TraceSession, InstallsAndRestoresThreadRecorder) {
+  ASSERT_EQ(trace::recorder(), nullptr);
+  {
+    trace::TraceSession outer;
+    EXPECT_EQ(trace::recorder(), &outer.recorder());
+    {
+      trace::TraceSession inner;
+      EXPECT_EQ(trace::recorder(), &inner.recorder());
+      AGILE_TRACE_INSTANT("t", "inner_only", 0);
+      EXPECT_EQ(inner.recorder().event_count(), 1u);
+      EXPECT_EQ(outer.recorder().event_count(), 0u);
+    }
+    EXPECT_EQ(trace::recorder(), &outer.recorder());
+  }
+  EXPECT_EQ(trace::recorder(), nullptr);
+}
+
+TEST(TraceSession, ScopedSpanEmitsBalancedPair) {
+  trace::TraceSession session;
+  {
+    AGILE_TRACE_SPAN("engine", "phase", 3, 7.0);
+    AGILE_TRACE_INSTANT("engine", "tick", 3);
+  }
+  const auto& ev = session.recorder().events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].kind, trace::EventKind::kBegin);
+  EXPECT_EQ(ev[1].kind, trace::EventKind::kInstant);
+  EXPECT_EQ(ev[2].kind, trace::EventKind::kEnd);
+  EXPECT_STREQ(ev[2].name, "phase");
+}
+
+TEST(TraceRecorder, ChromeJsonShapeAndEscaping) {
+  ScopedFakeClock clock;
+  trace::TraceRecorder rec;
+  rec.set_entity_name(0, "cluster");
+  rec.set_entity_name(1, "vm\"0\"\n");  // hostile name must be escaped
+  g_fake_now = 5;
+  rec.begin_span("engine", "round", 1);
+  g_fake_now = 9;
+  rec.end_span("engine", "round", 1);
+  rec.counter("net", "backlog", 0, 1.5);
+  rec.instant("engine", "flip", 1, 2);
+
+  std::string json = rec.to_chrome_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("vm\\\"0\\\"\\n"), std::string::npos);
+  // No raw newline may survive inside a string (the export is one line per
+  // event; a raw newline would corrupt the JSON).
+  EXPECT_EQ(json.find("vm\"0\""), std::string::npos);
+}
+
+TEST(TraceRecorder, SummaryAggregatesSpansAndCounters) {
+  ScopedFakeClock clock;
+  trace::TraceRecorder rec;
+  g_fake_now = 0;
+  rec.begin_span("engine", "round", 1);
+  g_fake_now = 1000;
+  rec.end_span("engine", "round", 1);
+  g_fake_now = 1000;
+  rec.begin_span("engine", "round", 1);
+  g_fake_now = 4000;
+  rec.end_span("engine", "round", 1);
+  rec.counter("net", "backlog", 0, 10);
+  rec.counter("net", "backlog", 0, 30);
+  rec.instant("engine", "flip", 1);
+
+  std::string s = rec.summary();
+  EXPECT_NE(s.find("engine/round"), std::string::npos);
+  EXPECT_NE(s.find("net/backlog"), std::string::npos);
+  EXPECT_NE(s.find("engine/flip"), std::string::npos);
+  EXPECT_EQ(s.find("unmatched"), std::string::npos);
+}
+
+TEST(TraceRecorder, SummaryReportsUnbalancedSpans) {
+  trace::TraceRecorder rec;
+  rec.begin_span("engine", "never_closed", 1);
+  rec.end_span("engine", "never_opened", 2);
+  std::string s = rec.summary();
+  EXPECT_NE(s.find("unmatched"), std::string::npos);
+}
+
+TEST(TraceSampling, FirstAndEveryPeriodth) {
+  EXPECT_TRUE(trace::sample_counter(1));
+  EXPECT_FALSE(trace::sample_counter(2));
+  EXPECT_FALSE(trace::sample_counter(63));
+  EXPECT_TRUE(trace::sample_counter(64));
+  EXPECT_FALSE(trace::sample_counter(65));
+  EXPECT_TRUE(trace::sample_counter(128));
+  EXPECT_TRUE(trace::sample_counter(10, 5));
+}
+
+// --- end-to-end determinism -----------------------------------------------
+
+std::string traced_single_vm_json(core::Technique technique) {
+  core::scenarios::SingleVmOptions opt;
+  opt.technique = technique;
+  // Small but still pressured: the host keeps 500 MiB for its OS, so a
+  // 640 MiB host gives the 768 MiB VM a 140 MiB reservation and the run
+  // exercises eviction, swap and demand paths without taking seconds.
+  opt.host_ram = 640_MiB;
+  opt.vm_memory = 768_MiB;
+  opt.busy = true;
+  opt.guest_os = 32_MiB;
+  opt.free_margin = 64_MiB;
+  opt.trace = true;
+  core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
+  sc.prepare();
+  sc.run_migration();
+  EXPECT_TRUE(sc.migration->completed());
+  return sc.session->recorder().to_chrome_json();
+}
+
+/// Reference trace, computed once per process (and per audit mode — the
+/// audit rerun of this binary recomputes it with AGILE_AUDIT=1).
+const std::string& reference_agile_json() {
+  static const std::string json =
+      traced_single_vm_json(core::Technique::kAgile);
+  return json;
+}
+
+// The trace is a pure function of the scenario: rerunning the same seed must
+// reproduce the export byte for byte. This is what makes trace diffs
+// meaningful — any byte difference is a behavior change, not noise.
+TEST(TraceDeterminism, RerunIsByteIdentical) {
+  std::string rerun = traced_single_vm_json(core::Technique::kAgile);
+  ASSERT_FALSE(rerun.empty());
+  EXPECT_EQ(reference_agile_json(), rerun);
+}
+
+// Recorders are thread-local: a simulation traced on a pool worker (as
+// AGILE_TRACE does under AGILE_BENCH_JOBS>1) must produce the same bytes as
+// one traced on the main thread, and concurrent traced runs must not bleed
+// into each other.
+TEST(TraceDeterminism, IdenticalAcrossWorkerThreads) {
+  util::ThreadPool pool(2);
+  auto a = pool.submit([] {
+    return traced_single_vm_json(core::Technique::kAgile);
+  });
+  auto b = pool.submit([] {
+    return traced_single_vm_json(core::Technique::kScatterGather);
+  });
+  EXPECT_EQ(a.get(), reference_agile_json());
+  // The concurrent scatter-gather run records its own distinct trace.
+  std::string sg = b.get();
+  EXPECT_NE(sg, reference_agile_json());
+  EXPECT_NE(sg.find("scatter"), std::string::npos);
+}
+
+// Deep audits are observation-only: enabling them must not move a single
+// event. (The ctest registration also reruns this whole binary with
+// AGILE_AUDIT=1 to cover compiled-in AGILE_DCHECK paths.)
+TEST(TraceDeterminism, AuditModeDoesNotChangeTheTrace) {
+  bool was_enabled = audit::enabled();
+  audit::set_enabled_for_test(!was_enabled);
+  std::string flipped = traced_single_vm_json(core::Technique::kAgile);
+  audit::set_enabled_for_test(was_enabled);
+  EXPECT_EQ(reference_agile_json(), flipped);
+}
+
+// Golden-file style anchor on the components present: the acceptance bar is
+// spans/counters from at least the engine, wss, wire/net and memory layers.
+TEST(TraceDeterminism, TraceCoversAllInstrumentedLayers) {
+  const std::string& json = reference_agile_json();
+  for (const char* component :
+       {"\"migration\"", "\"wire\"", "\"net\"", "\"mem\"", "\"vmd\""}) {
+    EXPECT_NE(json.find(component), std::string::npos) << component;
+  }
+}
+
+}  // namespace
+}  // namespace agile

@@ -5,12 +5,61 @@
 #include <vector>
 
 #include "util/bitmap.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
 
 namespace agile {
 namespace {
+
+// --- log rate limiting -------------------------------------------------
+
+// Restores the global log level when a test exits (pass or fail).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel lvl) : previous_(log::level()) {
+    log::set_level(lvl);
+  }
+  ~ScopedLogLevel() { log::set_level(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+TEST(LogEveryN, EmitsFirstAndEveryNth) {
+  ScopedLogLevel quiet(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i) AGILE_LOG_EVERY_N(kInfo, 4, "hit=%d;", i);
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("hit=0;"), std::string::npos);
+  EXPECT_EQ(out.find("hit=1;"), std::string::npos);
+  EXPECT_EQ(out.find("hit=3;"), std::string::npos);
+  EXPECT_NE(out.find("hit=4;"), std::string::npos);
+  EXPECT_NE(out.find("hit=8;"), std::string::npos);
+  EXPECT_EQ(out.find("hit=9;"), std::string::npos);
+}
+
+TEST(LogEveryN, CallSitesCountIndependently) {
+  ScopedLogLevel quiet(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 3; ++i) {
+    AGILE_LOG_EVERY_N(kInfo, 100, "site_a=%d;", i);
+    AGILE_LOG_EVERY_N(kInfo, 100, "site_b=%d;", i);
+  }
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("site_a=0;"), std::string::npos);
+  EXPECT_NE(out.find("site_b=0;"), std::string::npos);
+  EXPECT_EQ(out.find("site_a=1;"), std::string::npos);
+  EXPECT_EQ(out.find("site_b=2;"), std::string::npos);
+}
+
+TEST(LogEveryN, RespectsLevelThreshold) {
+  ScopedLogLevel quiet(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 5; ++i) AGILE_LOG_EVERY_N(kDebug, 1, "debug=%d;", i);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
 
 // --- units -------------------------------------------------------------
 

@@ -19,6 +19,11 @@ contract:
                structs are aggregate-built and memcmp'd/serialized, so an
                unwritten member leaks indeterminate bytes.
 
+src/trace/ gets a stricter profile on top of the above: trace exports must be
+byte-identical across runs, job counts and audit modes, so the module may not
+even *include* <chrono> or <random>, read the environment (getenv), or use
+unordered containers at all (export order must never depend on hashing).
+
 Scope: src/ and bench/ (tests may use wall clocks for timeouts). Exceptions go
 in tools/lint_determinism_allow.txt, one per line:
 
@@ -59,6 +64,26 @@ AMBIENT_RNG = [
 # std::unordered_map<Key*, ...> / unordered_set<Key*>: first template argument
 # contains a '*' before the ',' or '>'.
 PTR_KEYED = re.compile(r"\bunordered_(?:map|set)\s*<[^,<>]*\*")
+
+# Stricter rules for src/trace/: the recorder and exporter are the instrument
+# every other determinism check reads through, so they get zero tolerance.
+TRACE_STRICT = [
+    (re.compile(r"#\s*include\s*<chrono>"),
+     "trace module: <chrono> banned (timestamps come from the simulated "
+     "clock hook only)"),
+    (re.compile(r"#\s*include\s*<random>"),
+     "trace module: <random> banned (no randomness in the trace path)"),
+    (re.compile(r"\bgetenv\s*\("),
+     "trace module: getenv banned (recording is enabled by API, not ambient "
+     "environment)"),
+    (re.compile(r"\bunordered_(?:map|set)\b"),
+     "trace module: unordered containers banned (export order must not "
+     "depend on hashing)"),
+]
+
+
+def in_trace_module(relpath):
+    return relpath.startswith("src" + os.sep + "trace" + os.sep)
 
 STRUCT_NAME = re.compile(
     r"^\s*struct\s+(\w*(?:Metrics|Stats|Config|Params|Message|Header))\b[^;]*$")
@@ -147,6 +172,10 @@ def scan_file(relpath, allow):
         if PTR_KEYED.search(line):
             report("pointer-keyed unordered container (iteration order is "
                    "allocator-dependent)")
+        if in_trace_module(relpath):
+            for pat, msg in TRACE_STRICT:
+                if pat.search(line):
+                    report(msg)
 
         m = STRUCT_NAME.match(line)
         if m and ";" not in line:

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Summarize and diff Chrome trace_event JSON files produced by agile::trace.
+
+Usage:
+    trace_report.py summarize TRACE.json          per-track span/counter stats
+    trace_report.py diff A.json B.json            compare two traces
+    trace_report.py --self-test                   run built-in checks
+
+A trace is {"traceEvents": [...]} with "B"/"E" span pairs, "i" instants,
+"C" counter samples and "M" process/thread-name metadata, all timestamped in
+simulated microseconds (see src/trace/trace.hpp). `summarize` aggregates per
+(process, thread, name); `diff` reports spans whose total duration moved,
+plus counters/instants whose sample counts or final values changed — the
+quick way to see what a code change did to a migration's phase structure.
+
+Stdlib only; exit status 0 on success (diff: 0 even when different, it is a
+report, not a gate), 2 on usage or parse errors.
+"""
+
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: no traceEvents array")
+    return events
+
+
+def build_names(events):
+    """Maps pid -> process name and (pid, tid) -> thread name."""
+    procs, threads = {}, {}
+    for e in events:
+        if e.get("ph") != "M":
+            continue
+        args = e.get("args", {})
+        if e.get("name") == "process_name":
+            procs[e["pid"]] = args.get("name", str(e["pid"]))
+        elif e.get("name") == "thread_name":
+            threads[(e["pid"], e["tid"])] = args.get("name", str(e["tid"]))
+    return procs, threads
+
+
+def track_label(e, procs, threads):
+    pid, tid = e.get("pid", 0), e.get("tid", 0)
+    proc = procs.get(pid, str(pid))
+    thread = threads.get((pid, tid), str(tid))
+    return f"{proc}/{thread}"
+
+
+class Summary:
+    """Aggregated stats keyed by (track, event name)."""
+
+    def __init__(self):
+        self.spans = {}     # key -> {"count": n, "total_us": t}
+        self.counters = {}  # key -> {"count": n, "min": v, "max": v, "last": v}
+        self.instants = {}  # key -> {"count": n}
+        self.events = 0
+        self.unmatched = 0  # E without B, or B still open at the end
+
+
+def summarize(events):
+    procs, threads = build_names(events)
+    s = Summary()
+    open_begins = {}  # track -> [(name, ts), ...] stack
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        s.events += 1
+        track = track_label(e, procs, threads)
+        key = (track, e.get("name", "?"))
+        if ph == "B":
+            open_begins.setdefault(track, []).append((key[1], e["ts"]))
+        elif ph == "E":
+            # Chrome convention: "E" may omit the name and closes the
+            # innermost open span on its track.
+            stack = open_begins.get(track)
+            if not stack:
+                s.unmatched += 1
+                continue
+            name, begin_ts = stack.pop()
+            dur = e["ts"] - begin_ts
+            rec = s.spans.setdefault((track, name),
+                                     {"count": 0, "total_us": 0})
+            rec["count"] += 1
+            rec["total_us"] += dur
+        elif ph == "C":
+            value = e.get("args", {}).get("value", 0)
+            rec = s.counters.setdefault(
+                key, {"count": 0, "min": value, "max": value, "last": value})
+            rec["count"] += 1
+            rec["min"] = min(rec["min"], value)
+            rec["max"] = max(rec["max"], value)
+            rec["last"] = value
+        elif ph == "i":
+            rec = s.instants.setdefault(key, {"count": 0})
+            rec["count"] += 1
+    s.unmatched += sum(len(v) for v in open_begins.values())
+    return s
+
+
+def print_summary(s):
+    print(f"{s.events} events", end="")
+    if s.unmatched:
+        print(f" ({s.unmatched} unmatched span endpoints)", end="")
+    print()
+    if s.spans:
+        print("  spans (track/name, count, total ms):")
+        for (track, name), rec in sorted(s.spans.items()):
+            print(f"    {track}/{name:<24} {rec['count']:>6} "
+                  f"{rec['total_us'] / 1000.0:>12.3f}")
+    if s.counters:
+        print("  counters (track/name, samples, min/max/last):")
+        for (track, name), rec in sorted(s.counters.items()):
+            print(f"    {track}/{name:<24} {rec['count']:>6} "
+                  f"{rec['min']:>14.0f} {rec['max']:>14.0f} {rec['last']:>14.0f}")
+    if s.instants:
+        print("  instants (track/name, count):")
+        for (track, name), rec in sorted(s.instants.items()):
+            print(f"    {track}/{name:<24} {rec['count']:>6}")
+
+
+def diff_summaries(a, b):
+    """Returns a list of human-readable difference lines (empty if equal)."""
+    lines = []
+
+    def all_keys(da, db):
+        return sorted(set(da) | set(db))
+
+    for key in all_keys(a.spans, b.spans):
+        ra, rb = a.spans.get(key), b.spans.get(key)
+        label = "/".join(key)
+        if ra is None:
+            lines.append(f"span {label}: only in B ({rb['count']}x)")
+        elif rb is None:
+            lines.append(f"span {label}: only in A ({ra['count']}x)")
+        elif ra != rb:
+            lines.append(
+                f"span {label}: count {ra['count']} -> {rb['count']}, "
+                f"total {ra['total_us'] / 1000.0:.3f} -> "
+                f"{rb['total_us'] / 1000.0:.3f} ms")
+    for key in all_keys(a.counters, b.counters):
+        ra, rb = a.counters.get(key), b.counters.get(key)
+        label = "/".join(key)
+        if ra is None:
+            lines.append(f"counter {label}: only in B")
+        elif rb is None:
+            lines.append(f"counter {label}: only in A")
+        elif ra != rb:
+            lines.append(
+                f"counter {label}: samples {ra['count']} -> {rb['count']}, "
+                f"last {ra['last']:.0f} -> {rb['last']:.0f}")
+    for key in all_keys(a.instants, b.instants):
+        ra, rb = a.instants.get(key), b.instants.get(key)
+        label = "/".join(key)
+        if ra is None:
+            lines.append(f"instant {label}: only in B ({rb['count']}x)")
+        elif rb is None:
+            lines.append(f"instant {label}: only in A ({ra['count']}x)")
+        elif ra != rb:
+            lines.append(f"instant {label}: count {ra['count']} -> {rb['count']}")
+    return lines
+
+
+def self_test():
+    def ev(ph, name, ts, pid=1, tid=1, value=None):
+        e = {"ph": ph, "name": name, "ts": ts, "pid": pid, "tid": tid}
+        if ph == "C":
+            e["args"] = {"value": value}
+        elif ph == "i":
+            e["s"] = "t"
+        return e
+
+    meta = [
+        {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+         "args": {"name": "vm0"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+         "args": {"name": "migration"}},
+    ]
+    trace_a = meta + [
+        ev("B", "round", 0),
+        ev("E", "round", 1000),
+        ev("B", "round", 1000),
+        ev("E", "round", 3500),
+        ev("C", "backlog", 100, value=10),
+        ev("C", "backlog", 200, value=30),
+        ev("i", "switchover", 3500),
+    ]
+    a = summarize(trace_a)
+    assert a.events == 7, a.events
+    assert a.unmatched == 0
+    span = a.spans[("vm0/migration", "round")]
+    assert span["count"] == 2 and span["total_us"] == 3500, span
+    counter = a.counters[("vm0/migration", "backlog")]
+    assert counter == {"count": 2, "min": 10, "max": 30, "last": 30}, counter
+    assert a.instants[("vm0/migration", "switchover")]["count"] == 1
+
+    # Identical traces diff clean.
+    assert diff_summaries(a, summarize(list(trace_a))) == []
+
+    # A longer second round, a counter drift and a lost instant all surface.
+    trace_b = [e.copy() for e in trace_a]
+    trace_b[4] = ev("E", "round", 5000)  # second round now 4000 us
+    trace_b[6] = ev("C", "backlog", 200, value=50)
+    trace_b.pop()  # drop the switchover instant
+    delta = diff_summaries(a, summarize(trace_b))
+    assert len(delta) == 3, delta
+    assert any("span vm0/migration/round" in d for d in delta), delta
+    assert any("counter vm0/migration/backlog" in d for d in delta), delta
+    assert any("instant vm0/migration/switchover" in d for d in delta), delta
+
+    # Unbalanced spans are reported, not fatal.
+    lonely = summarize(meta + [ev("E", "x", 5), ev("B", "y", 7)])
+    assert lonely.unmatched == 2, lonely.unmatched
+
+    print("trace_report self-test: OK")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) == 3 and argv[1] == "summarize":
+        print_summary(summarize(load_events(argv[2])))
+        return 0
+    if len(argv) == 4 and argv[1] == "diff":
+        a = summarize(load_events(argv[2]))
+        b = summarize(load_events(argv[3]))
+        delta = diff_summaries(a, b)
+        if not delta:
+            print("traces are equivalent (summary level)")
+        else:
+            for line in delta:
+                print(line)
+        return 0
+    sys.stderr.write(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        sys.stderr.write(f"trace_report: {err}\n")
+        sys.exit(2)
