@@ -1,16 +1,18 @@
 // Autonomous memory-pressure response (paper §III-B) via the library's
-// PressureResponder: per-VM working-set tracking, a watermark trigger on the
-// aggregate, and automatic Agile migration of the fewest VMs needed to get
-// back under the low watermark.
+// MigrationOrchestrator: per-VM working-set tracking, a watermark trigger on
+// every host's aggregate, and automatic Agile migration of the fewest VMs
+// needed to get back under the low watermark, placed best-fit across the
+// fleet's destinations.
 //
 //   $ ./memory_pressure
 //
 // Three VMs idle along with small working sets; at t=120 s one of them turns
-// hot, the aggregate crosses the high watermark, and the responder evicts it.
+// hot, the aggregate crosses the high watermark, and the orchestrator evicts
+// it to the destination with the tightest sufficient headroom.
 #include <cstdio>
 #include <vector>
 
-#include "core/pressure_responder.hpp"
+#include "core/migration_orchestrator.hpp"
 #include "util/log.hpp"
 #include "workload/ycsb.hpp"
 
@@ -48,20 +50,21 @@ int main() {
   }
   bed.source()->ssd()->advance(sec(3600));
 
-  core::PressureResponderConfig pcfg;
-  pcfg.warmup = sec(100);  // let the initial estimates converge
-  pcfg.wss.alpha = 0.85;  // brisk factors so the demo runs in minutes
-  pcfg.wss.beta = 1.10;
-  core::PressureResponder responder(&bed, pcfg);
-  for (core::VmHandle* h : handles) responder.track(h);
-  responder.set_on_migration([&](core::VmHandle* victim) {
+  core::MigrationOrchestratorConfig ocfg;
+  ocfg.warmup = sec(100);  // let the initial estimates converge
+  ocfg.wss.alpha = 0.85;  // brisk factors so the demo runs in minutes
+  ocfg.wss.beta = 1.10;
+  core::MigrationOrchestrator orchestrator(&bed, ocfg);
+  for (core::VmHandle* h : handles) orchestrator.track(h);
+  orchestrator.set_on_migration([&](core::VmHandle* victim,
+                                    host::Host* dest) {
     std::printf(">>> t=%.0fs: watermark crossed (aggregate %.1f GiB) — "
-                "migrating %s\n",
+                "migrating %s to %s\n",
                 bed.cluster().now_seconds(),
-                to_gib(responder.last_decision().aggregate_wss),
-                victim->machine->name().c_str());
+                to_gib(orchestrator.last_decision().aggregate_wss),
+                victim->machine->name().c_str(), dest->name().c_str());
   });
-  responder.start();
+  orchestrator.start();
 
   bed.cluster().simulation().schedule_at(sec(120), [&] {
     std::printf(">>> t=120s: vm1's client widens its active set to 3 GiB\n");
@@ -69,17 +72,18 @@ int main() {
   });
 
   bed.cluster().run_for_seconds(400);
-  responder.stop();
+  orchestrator.stop();
 
   std::printf("\nFinal placement:\n");
   for (core::VmHandle* h : handles) {
+    host::Host* where = bed.host_of(h->machine);
     std::printf("  %-4s on %-6s  WSS estimate %.2f GiB  resident %.2f GiB\n",
                 h->machine->name().c_str(),
-                bed.source()->has_vm(h->machine) ? "source" : "dest",
-                to_gib(responder.wss_estimate(h)),
+                where != nullptr ? where->name().c_str() : "?",
+                to_gib(orchestrator.wss_estimate(h)),
                 to_gib(h->machine->memory().resident_bytes()));
   }
-  for (const auto& m : responder.migrations()) {
+  for (const auto& m : orchestrator.migrations()) {
     std::printf("\n%s migration of %s: %.1f s, %.0f MiB on the wire.\n",
                 m->technique(), m->machine()->name().c_str(),
                 to_seconds(m->metrics().total_time()),

@@ -1,7 +1,8 @@
 // Command-line scenario driver: run any migration technique against a
-// configurable pressured VM without writing C++.
+// configurable pressured VM — or a whole fleet — without writing C++.
 //
 //   $ ./migrate_cli --technique=agile --vm-gb=8 --host-gb=4 --busy --timeline
+//   $ ./migrate_cli --fleet --hosts=4 --vms=6 --duration=400
 //
 // Flags (all optional):
 //   --technique=precopy|postcopy|agile|scatter-gather   (default agile)
@@ -13,6 +14,15 @@
 //   --timeline         print 1 s throughput samples while migrating
 //   --trace-out=FILE   record a Chrome trace_event JSON of the run
 //                      (load in chrome://tracing or ui.perfetto.dev)
+//   --watermark-high=F high watermark fraction of RAM    (default 0.90)
+//   --watermark-low=F  low watermark fraction of RAM     (default 0.75)
+//   --fleet            orchestrated multi-host mode: VMs consolidated on
+//                      host 0 turn hot and the MigrationOrchestrator spreads
+//                      the victims across the other hosts
+//   --hosts=N          fleet host count                  (default 4)
+//   --vms=N            fleet VM count                    (default 6)
+//   --hot=N            VMs whose working set widens      (default 3)
+//   --duration=S       fleet simulated seconds           (default 400)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -40,9 +50,73 @@ int usage(const char* argv0) {
                "usage: %s [--technique=precopy|postcopy|agile|scatter-gather]\n"
                "          [--vm-gb=N] [--host-gb=N] [--busy]\n"
                "          [--read-fraction=F] [--seed=N] [--timeline]\n"
-               "          [--trace-out=FILE]\n",
+               "          [--trace-out=FILE]\n"
+               "          [--watermark-high=F] [--watermark-low=F]\n"
+               "          [--fleet] [--hosts=N] [--vms=N] [--hot=N]\n"
+               "          [--duration=S]\n",
                argv0);
   return 2;
+}
+
+int run_fleet(core::scenarios::FleetOptions opt, double duration_s) {
+  core::scenarios::Fleet fleet = core::scenarios::make_fleet(opt);
+  core::Testbed& bed = *fleet.bed;
+  std::printf("Fleet: %u hosts, %u VMs consolidated on host0; %u working "
+              "sets widen to %.0f MiB at t=%.0fs (%s, watermarks %.2f/%.2f)\n",
+              opt.host_count, opt.vm_count, opt.hot_vms,
+              to_mib(opt.hot_active), to_seconds(opt.hot_at),
+              core::technique_name(opt.technique), opt.watermarks.high,
+              opt.watermarks.low);
+  fleet.load_all();
+  fleet.orchestrator->set_on_migration(
+      [&](core::VmHandle* victim, host::Host* dest) {
+        std::printf(">>> t=%.0fs: migrating %s to %s (reservation %.0f MiB)\n",
+                    bed.cluster().now_seconds(),
+                    victim->machine->name().c_str(), dest->name().c_str(),
+                    to_mib(fleet.orchestrator->wss_estimate(victim)));
+      });
+  fleet.orchestrator->start();
+  bed.cluster().run_for_seconds(duration_s);
+  fleet.orchestrator->stop();
+
+  std::printf("\nDecisions:\n");
+  for (const core::FleetDecision& d : fleet.orchestrator->decisions()) {
+    std::printf("  t=%5.0fs %s: aggregate %.2f GiB, %zu victim(s), "
+                "%zu launched, %u deferred%s\n",
+                to_seconds(d.time), d.source_host.c_str(),
+                to_gib(d.trigger.aggregate_wss), d.trigger.victims.size(),
+                d.launches.size(), d.deferred,
+                d.trigger.insufficient ? " [insufficient]" : "");
+    for (const core::FleetLaunch& l : d.launches) {
+      std::printf("          %s -> %s (%.0f MiB reserved)\n", l.vm.c_str(),
+                  l.dest.c_str(), to_mib(l.reserved_wss));
+    }
+  }
+
+  std::printf("\nFinal placement:\n");
+  for (core::VmHandle* h : fleet.handles) {
+    host::Host* where = bed.host_of(h->machine);
+    std::printf("  %-4s on %-6s  WSS estimate %7.0f MiB  resident %7.0f MiB\n",
+                h->machine->name().c_str(),
+                where != nullptr ? where->name().c_str() : "?",
+                to_mib(fleet.orchestrator->wss_estimate(h)),
+                to_mib(h->machine->memory().resident_bytes()));
+  }
+
+  metrics::Table t({"vm", "dest", "start (s)", "end (s)", "downtime (ms)",
+                    "wire (MiB)", "done"});
+  for (const auto& m : fleet.orchestrator->migrations()) {
+    const migration::MigrationMetrics& mm = m->metrics();
+    t.add_row({m->machine()->name(), m->dest_host()->name(),
+               metrics::Table::num(to_seconds(mm.start_time), 1),
+               mm.completed ? metrics::Table::num(to_seconds(mm.end_time), 1)
+                            : "n/a",
+               metrics::Table::num(static_cast<double>(mm.downtime) / 1000.0, 0),
+               metrics::Table::num(to_mib(mm.bytes_transferred), 0),
+               mm.completed ? "yes" : "no"});
+  }
+  std::printf("\n%s", t.to_string().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -50,8 +124,11 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   core::Technique technique = core::Technique::kAgile;
   double vm_gb = 4, host_gb = 2, read_fraction = 0.8;
+  double watermark_high = 0.90, watermark_low = 0.75;
+  double duration_s = 400;
   std::uint64_t seed = 42;
-  bool busy = false, timeline = false;
+  std::uint32_t fleet_hosts = 4, fleet_vms = 6, fleet_hot = 3;
+  bool busy = false, timeline = false, fleet = false;
   std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,24 +151,59 @@ int main(int argc, char** argv) {
       host_gb = std::stod(v);
     } else if (parse_flag(argv[i], "read-fraction", &v)) {
       read_fraction = std::stod(v);
+    } else if (parse_flag(argv[i], "watermark-high", &v)) {
+      watermark_high = std::stod(v);
+    } else if (parse_flag(argv[i], "watermark-low", &v)) {
+      watermark_low = std::stod(v);
     } else if (parse_flag(argv[i], "seed", &v)) {
       seed = std::stoull(v);
     } else if (parse_flag(argv[i], "trace-out", &v)) {
       trace_out = v;
+    } else if (parse_flag(argv[i], "hosts", &v)) {
+      fleet_hosts = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (parse_flag(argv[i], "vms", &v)) {
+      fleet_vms = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (parse_flag(argv[i], "hot", &v)) {
+      fleet_hot = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (parse_flag(argv[i], "duration", &v)) {
+      duration_s = std::stod(v);
     } else if (std::strcmp(argv[i], "--busy") == 0) {
       busy = true;
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
       timeline = true;
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet = true;
     } else {
       return usage(argv[0]);
     }
   }
-  if (vm_gb <= 0.1 || host_gb <= 0.6) {
-    std::fprintf(stderr, "vm/host sizes too small to model\n");
+  if (watermark_low <= 0 || watermark_low > watermark_high ||
+      watermark_high > 1.0) {
+    std::fprintf(stderr, "watermarks must satisfy 0 < low <= high <= 1\n");
     return 2;
   }
 
   log::set_level(LogLevel::kInfo);
+  if (fleet) {
+    if (fleet_hosts < 2 || fleet_vms < 1 || fleet_hot > fleet_vms ||
+        duration_s <= 0) {
+      return usage(argv[0]);
+    }
+    core::scenarios::FleetOptions fopt;
+    fopt.technique = technique;
+    fopt.host_count = fleet_hosts;
+    fopt.vm_count = fleet_vms;
+    fopt.hot_vms = fleet_hot;
+    fopt.watermarks.high = watermark_high;
+    fopt.watermarks.low = watermark_low;
+    fopt.seed = seed;
+    return run_fleet(fopt, duration_s);
+  }
+
+  if (vm_gb <= 0.1 || host_gb <= 0.6) {
+    std::fprintf(stderr, "vm/host sizes too small to model\n");
+    return 2;
+  }
   core::scenarios::SingleVmOptions opt;
   opt.technique = technique;
   opt.vm_memory = static_cast<Bytes>(vm_gb * static_cast<double>(1_GiB));
@@ -120,13 +232,16 @@ int main(int argc, char** argv) {
     vm::VirtualMachine* machine = sc.handle->machine;
     Bytes host_ram = sc.bed->source()->ram();
     Bytes host_os = sc.bed->source()->config().host_os_bytes;
+    wss::WatermarkConfig watermarks;
+    watermarks.high = watermark_high;
+    watermarks.low = watermark_low;
     wss_probe = sc.bed->cluster().simulation().schedule_periodic(
-        sec(1), [machine, host_ram, host_os](SimTime) {
+        sec(1), [machine, host_ram, host_os, watermarks](SimTime) {
           AGILE_TRACE_SPAN("wss", "watermark_probe", 0);
           std::vector<wss::VmPressure> vms(1);
           vms[0].name = machine->name();
           vms[0].wss = machine->memory().resident_bytes();
-          wss::evaluate_watermarks(host_ram, host_os, vms, {});
+          wss::evaluate_watermarks(host_ram, host_os, vms, watermarks);
         });
   }
   sc.migration = sc.bed->make_migration(opt.technique, *sc.handle);

@@ -1,0 +1,145 @@
+// Fleet-wide closed-loop memory-pressure response (paper §III-B, automated).
+//
+// A MigrationOrchestrator owns the whole loop the paper describes, across
+// every host of the fleet: it watches the aggregate working-set estimate of
+// the tracked VMs on each host, detects high-watermark crossings, selects the
+// fewest VMs whose departure brings that host under the low watermark, and
+// launches migrations for *all* victims of a decision concurrently — the
+// network model shares the links max–min fairly, so a multi-victim decision
+// drains in parallel instead of serially. Destinations are chosen by the pure
+// best-fit policy in wss/ and admission-controlled against their own low
+// watermark with reservation = tracked WSS, so relieving one host cannot
+// cascade pressure onto another. A per-link in-flight cap bounds how many
+// simultaneous migrations share one source→destination pair; victims beyond
+// the cap (or without an admissible destination) are deferred and retried on
+// later evaluations while pressure persists.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "wss/reservation_controller.hpp"
+#include "wss/watermark_trigger.hpp"
+
+namespace agile::core {
+
+struct MigrationOrchestratorConfig {
+  wss::WatermarkConfig watermarks;
+  SimTime check_interval = sec(10);
+  /// Grace period after start before the first evaluation (lets the
+  /// reservation controllers converge on initial estimates).
+  SimTime warmup = sec(30);
+  /// Additionally hold off until every tracked controller has reached its
+  /// first stable estimate — initial cgroup reservations are not working
+  /// sets, and acting on them migrates the wrong VM.
+  bool wait_for_stable_estimates = true;
+  wss::WssConfig wss;  ///< Controller parameters applied to every tracked VM.
+  /// Engine used for orchestrated migrations (per-VM swap techniques only).
+  Technique technique = Technique::kAgile;
+  /// Max concurrent migrations sharing one source→destination link. Victims
+  /// over the cap are deferred to a later evaluation, not dropped.
+  std::uint32_t per_link_in_flight_cap = 2;
+};
+
+/// One VM launched by a fleet decision (for observability / bench output).
+struct FleetLaunch {
+  std::string vm;
+  std::string dest;
+  Bytes reserved_wss = 0;
+};
+
+/// One pressured watermark evaluation of one host, with what came of it.
+struct FleetDecision {
+  SimTime time = 0;
+  std::string source_host;
+  wss::TriggerDecision trigger;
+  std::vector<FleetLaunch> launches;
+  /// Victims without an admissible destination or over the link cap; they
+  /// stay on the source and are re-evaluated while pressure persists.
+  std::uint32_t deferred = 0;
+};
+
+class MigrationOrchestrator {
+ public:
+  MigrationOrchestrator(Testbed* testbed,
+                        MigrationOrchestratorConfig config = {});
+  ~MigrationOrchestrator();
+
+  MigrationOrchestrator(const MigrationOrchestrator&) = delete;
+  MigrationOrchestrator& operator=(const MigrationOrchestrator&) = delete;
+
+  /// Registers a VM for tracking + eligibility for migration. Must use a
+  /// per-VM swap device (the controller reads its iostat window, and the
+  /// orchestrated techniques require a portable namespace).
+  void track(VmHandle* handle);
+
+  /// Starts the controllers and the fleet-wide watermark monitor.
+  void start();
+  void stop();
+
+  std::size_t tracked_count() const { return entries_.size(); }
+
+  /// Working-set estimate for a tracked VM.
+  Bytes wss_estimate(const VmHandle* handle) const;
+
+  /// Migrations launched so far (completed or in flight, launch order).
+  const std::vector<std::unique_ptr<migration::MigrationManager>>& migrations()
+      const {
+    return migrations_;
+  }
+  std::size_t migrations_launched() const { return migrations_.size(); }
+  std::size_t migrations_in_flight() const;
+
+  /// Most recent watermark evaluation (of any host, for observability).
+  const wss::TriggerDecision& last_decision() const { return last_decision_; }
+
+  /// Every pressured decision so far, in evaluation order (host index order
+  /// within one sweep) — the deterministic record the fleet bench prints.
+  const std::vector<FleetDecision>& decisions() const { return decisions_; }
+
+  /// Optional callback fired per launched migration (victim, destination).
+  void set_on_migration(std::function<void(VmHandle*, host::Host*)> fn) {
+    on_migration_ = std::move(fn);
+  }
+
+ private:
+  struct Entry {
+    VmHandle* handle;
+    std::unique_ptr<wss::ReservationController> controller;
+  };
+  /// A not-yet-completed migration and the WSS it reserves at its
+  /// destination for admission control.
+  struct InFlight {
+    migration::MigrationManager* migration;
+    VmHandle* handle;
+    host::Host* source;
+    host::Host* dest;
+    Bytes reserved_wss;
+  };
+
+  void evaluate(SimTime now);
+  void evaluate_host(SimTime now, host::Host* source);
+  bool vm_in_flight(const VmHandle* handle) const;
+  std::size_t link_load(const host::Host* source, const host::Host* dest) const;
+  /// Bytes already claimed against `host`'s RAM: host OS + working sets of
+  /// resident VMs (tracked estimate, else resident bytes) + reservations of
+  /// in-flight migrations targeting it.
+  Bytes committed_bytes(host::Host* host) const;
+
+  Testbed* testbed_;
+  MigrationOrchestratorConfig config_;
+  std::vector<Entry> entries_;
+  std::vector<std::unique_ptr<migration::MigrationManager>> migrations_;
+  std::vector<InFlight> in_flight_;
+  std::shared_ptr<sim::PeriodicTask> monitor_;
+  SimTime started_at_ = -1;
+  bool estimates_ready_ = false;
+  wss::TriggerDecision last_decision_;
+  std::vector<FleetDecision> decisions_;
+  std::function<void(VmHandle*, host::Host*)> on_migration_;
+};
+
+}  // namespace agile::core

@@ -13,10 +13,11 @@ SwapBinding binding_for(Technique technique) {
 }
 
 // Datasets are loaded before the paper's measurement window opens; drain the
-// write-behind backlog the bulk load left on the SSD so t=0 starts clean.
+// write-behind backlog the bulk load left on the SSDs so t=0 starts clean.
 void drain_ssd(Testbed& bed) {
-  bed.source()->ssd()->advance(sec(36000));
-  bed.dest()->ssd()->advance(sec(36000));
+  for (std::size_t i = 0; i < bed.host_count(); ++i) {
+    bed.host_at(i)->ssd()->advance(sec(36000));
+  }
 }
 
 }  // namespace
@@ -214,6 +215,77 @@ WssTracking make_wss_tracking(const WssTrackingOptions& options) {
 void WssTracking::load() {
   ycsb->load(0);
   bed->source()->ssd()->advance(sec(36000));
+}
+
+Fleet make_fleet(const FleetOptions& options) {
+  AGILE_CHECK(options.host_count >= 2 && options.vm_count >= 1);
+  AGILE_CHECK(options.hot_vms <= options.vm_count);
+  Fleet scenario;
+  scenario.options = options;
+
+  TestbedConfig cfg;
+  cfg.cluster.seed = options.seed;
+  for (std::uint32_t i = 0; i < options.host_count; ++i) {
+    host::HostConfig host_cfg = named_host("host" + std::to_string(i));
+    host_cfg.ram = i == 0 ? options.source_ram : options.dest_ram;
+    host_cfg.host_os_bytes = options.host_os;
+    cfg.hosts.push_back(host_cfg);
+  }
+  scenario.bed = std::make_unique<Testbed>(cfg);
+  Testbed& bed = *scenario.bed;
+
+  for (std::uint32_t i = 0; i < options.vm_count; ++i) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    spec.memory = options.vm_memory;
+    spec.reservation = options.reservation;
+    spec.vcpus = 2;
+    // Orchestrated VMs always carry a per-VM VMD namespace: the reservation
+    // controller reads its iostat window, whatever engine later moves them.
+    spec.swap = SwapBinding::kPerVmDevice;
+    spec.host = 0;  // consolidated start: everyone on host 0
+    VmHandle& h = bed.create_vm(spec);
+    scenario.handles.push_back(&h);
+
+    workload::YcsbConfig ycfg;
+    ycfg.dataset_bytes = options.dataset;
+    ycfg.guest_os_bytes = options.guest_os;
+    ycfg.active_bytes = options.initial_active;
+    ycfg.read_fraction = options.read_fraction;
+    auto load = std::make_unique<workload::YcsbWorkload>(
+        h.machine, &bed.cluster().network(), bed.client_node(), ycfg,
+        bed.make_rng(spec.name + "/ycsb"));
+    scenario.ycsbs.push_back(load.get());
+    bed.attach_workload(h, std::move(load));
+  }
+
+  MigrationOrchestratorConfig ocfg;
+  ocfg.watermarks = options.watermarks;
+  ocfg.wss = options.wss;
+  ocfg.technique = options.technique;
+  ocfg.per_link_in_flight_cap = options.per_link_cap;
+  scenario.orchestrator =
+      std::make_unique<MigrationOrchestrator>(&bed, ocfg);
+  for (VmHandle* h : scenario.handles) scenario.orchestrator->track(h);
+  return scenario;
+}
+
+void Fleet::load_all() {
+  for (workload::YcsbWorkload* y : ycsbs) y->load(0);
+  drain_ssd(*bed);
+  for (std::uint32_t i = 0; i < options.hot_vms; ++i) {
+    workload::YcsbWorkload* y = ycsbs[i];
+    Bytes target = options.hot_active;
+    bed->cluster().simulation().schedule_at(
+        options.hot_at, [y, target] { y->set_active_bytes(target); });
+  }
+}
+
+std::size_t Fleet::host_index_of(const VmHandle* handle) const {
+  for (std::size_t i = 0; i < bed->host_count(); ++i) {
+    if (bed->host_at(i)->has_vm(handle->machine)) return i;
+  }
+  return static_cast<std::size_t>(-1);
 }
 
 }  // namespace agile::core::scenarios

@@ -10,11 +10,16 @@
 //    busy, migrated mid-test.
 //  * WssTracking (§V-D, Figs. 9–10): one 5 GB VM with a 1.5 GB dataset on a
 //    128 GB host, under the reservation controller.
+//  * Fleet (beyond the paper's two-host bed): N VMs consolidated on one host
+//    of a multi-host fleet under the MigrationOrchestrator; several working
+//    sets widen at once, so one watermark decision selects multiple victims
+//    and spreads them across destinations concurrently.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "core/migration_orchestrator.hpp"
 #include "core/testbed.hpp"
 #include "trace/trace.hpp"
 #include "workload/oltp.hpp"
@@ -129,5 +134,61 @@ struct WssTracking {
 };
 
 WssTracking make_wss_tracking(const WssTrackingOptions& options);
+
+/// Brisk controller factors so fleet scenarios converge in simulated minutes
+/// (the paper's α=0.95/β=1.03 takes tens of minutes to track a step).
+inline wss::WssConfig fleet_wss_defaults() {
+  wss::WssConfig w;
+  w.alpha = 0.80;
+  w.beta = 1.15;
+  return w;
+}
+
+struct FleetOptions {
+  Technique technique = Technique::kAgile;
+  std::uint32_t host_count = 4;   ///< Host 0 + (N−1) destinations.
+  std::uint32_t vm_count = 6;     ///< All start consolidated on host 0.
+  Bytes source_ram = 2_GiB;       ///< Host 0.
+  /// Hosts 1..N−1. Sized so one widened working set fills a destination to
+  /// its low watermark — a multi-victim decision must spread out — yet a
+  /// single estimate at its cap (`vm_memory`) still fits under low, so a
+  /// post-arrival estimate spike cannot push a destination into pressure.
+  Bytes dest_ram = 1536_MiB;
+  Bytes host_os = 64_MiB;
+  Bytes vm_memory = 1_GiB;
+  Bytes reservation = 512_MiB;
+  Bytes dataset = 768_MiB;
+  Bytes guest_os = 32_MiB;
+  Bytes initial_active = 96_MiB;
+  Bytes hot_active = 512_MiB;     ///< Widened working set of the hot VMs.
+  std::uint32_t hot_vms = 3;      ///< VMs 0..hot_vms−1 turn hot together.
+  SimTime hot_at = sec(90);
+  double read_fraction = 0.8;
+  wss::WatermarkConfig watermarks;
+  wss::WssConfig wss = fleet_wss_defaults();
+  std::uint32_t per_link_cap = 2;
+  std::uint64_t seed = 42;
+};
+
+struct Fleet {
+  FleetOptions options;
+  std::unique_ptr<Testbed> bed;
+  std::vector<VmHandle*> handles;
+  std::vector<workload::YcsbWorkload*> ycsbs;
+  std::unique_ptr<MigrationOrchestrator> orchestrator;
+
+  /// Loads all datasets (simulated time 0; call before running), then
+  /// schedules the hotspot step: at `hot_at` the first `hot_vms` clients
+  /// widen their active sets to `hot_active` simultaneously.
+  void load_all();
+
+  /// Host index a VM currently resides on (for reports).
+  std::size_t host_index_of(const VmHandle* handle) const;
+};
+
+/// Builds the fleet testbed, VMs, workloads and orchestrator (all VMs
+/// tracked; datasets not yet loaded — call `load_all`, then
+/// `orchestrator->start()`).
+Fleet make_fleet(const FleetOptions& options);
 
 }  // namespace agile::core::scenarios

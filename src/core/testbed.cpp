@@ -16,8 +16,14 @@ const char* technique_name(Technique technique) {
 
 Testbed::Testbed(TestbedConfig config)
     : config_(config), cluster_(config.cluster) {
-  source_ = cluster_.add_host(config_.source);
-  dest_ = cluster_.add_host(config_.dest);
+  if (config_.hosts.empty()) {
+    config_.hosts = {config_.source, config_.dest};
+  }
+  AGILE_CHECK_MSG(config_.hosts.size() >= 2,
+                  "a testbed needs at least two hosts");
+  for (const host::HostConfig& host_cfg : config_.hosts) {
+    hosts_.push_back(cluster_.add_host(host_cfg));
+  }
   client_node_ = cluster_.add_client_node("clients");
   for (std::uint32_t i = 0; i < config_.vmd_servers; ++i) {
     std::string name = "intermediate" + std::to_string(i + 1);
@@ -38,8 +44,17 @@ Testbed::Testbed(TestbedConfig config)
   }
 }
 
+host::Host* Testbed::host_of(const vm::VirtualMachine* machine) {
+  for (host::Host* host : hosts_) {
+    if (host->has_vm(machine)) return host;
+  }
+  return nullptr;
+}
+
 VmHandle& Testbed::create_vm(const VmSpec& spec) {
   Bytes reservation = spec.reservation == 0 ? spec.memory : spec.reservation;
+  AGILE_CHECK_MSG(spec.host < hosts_.size(), "VmSpec.host out of range");
+  host::Host* home = hosts_[spec.host];
   auto handle = std::make_unique<VmHandle>();
 
   swap::SwapDevice* swap_device = nullptr;
@@ -49,7 +64,7 @@ VmHandle& Testbed::create_vm(const VmSpec& spec) {
     // One client module per VM keeps the namespace attachment portable
     // independently of other VMs on the host.
     auto client = std::make_unique<vmd::VmdClient>(&cluster_.network(),
-                                                   source_->node());
+                                                   home->node());
     for (auto& server : vmd_servers_) client->register_server(server.get());
     Bytes capacity = spec.per_vm_swap_capacity == 0 ? 2 * spec.memory
                                                     : spec.per_vm_swap_capacity;
@@ -64,7 +79,7 @@ VmHandle& Testbed::create_vm(const VmSpec& spec) {
     vmd_clients_.push_back(std::move(client));
     vmd_devices_.push_back(std::move(device));
   } else {
-    swap_device = source_->swap_partition();
+    swap_device = home->swap_partition();
   }
 
   mem::GuestMemoryConfig mem_cfg;
@@ -90,8 +105,8 @@ VmHandle& Testbed::create_vm(const VmSpec& spec) {
     r->set_entity_name(vm_cfg.trace_id, spec.name);
   }
   handle->machine = cluster_.adopt_vm(std::make_unique<vm::VirtualMachine>(
-      vm_cfg, std::move(memory), source_->node()));
-  source_->attach_vm(handle->machine, nullptr);
+      vm_cfg, std::move(memory), home->node()));
+  home->attach_vm(handle->machine, nullptr);
 
   vms_.push_back(std::move(handle));
   return *vms_.back();
@@ -102,29 +117,34 @@ void Testbed::attach_workload(VmHandle& handle,
   AGILE_CHECK_MSG(handle.load == nullptr, "VM already has a workload");
   handle.load = cluster_.adopt_workload(std::move(load));
   // Re-attach so the host runs the workload each quantum.
-  host::Host* where = source_->has_vm(handle.machine) ? source_ : dest_;
+  host::Host* where = host_of(handle.machine);
+  AGILE_CHECK_MSG(where != nullptr, "VM is not on any fleet host");
   where->detach_vm(handle.machine);
   where->attach_vm(handle.machine, handle.load);
 }
 
-std::unique_ptr<migration::MigrationManager> Testbed::make_migration(
-    Technique technique, VmHandle& handle, Bytes dest_reservation,
-    migration::MigrationConfig config) {
+std::unique_ptr<migration::MigrationManager> Testbed::make_migration_to(
+    Technique technique, VmHandle& handle, host::Host* destination,
+    Bytes dest_reservation, migration::MigrationConfig config) {
+  host::Host* source = host_of(handle.machine);
+  AGILE_CHECK_MSG(source != nullptr, "VM is not on any fleet host");
+  AGILE_CHECK_MSG(destination != nullptr && destination != source,
+                  "destination must be a different fleet host");
   migration::MigrationParams params;
   params.machine = handle.machine;
   params.load = handle.load;
-  params.source = source_;
-  params.dest = dest_;
+  params.source = source;
+  params.dest = destination;
   params.dest_reservation = dest_reservation == 0
                                 ? handle.machine->memory().reservation()
                                 : dest_reservation;
   switch (technique) {
     case Technique::kPrecopy:
-      params.dest_swap = dest_->swap_partition();
+      params.dest_swap = destination->swap_partition();
       return std::make_unique<migration::PrecopyMigration>(&cluster_, params,
                                                            config);
     case Technique::kPostcopy:
-      params.dest_swap = dest_->swap_partition();
+      params.dest_swap = destination->swap_partition();
       return std::make_unique<migration::PostcopyMigration>(&cluster_, params,
                                                             config);
     case Technique::kAgile: {
@@ -136,7 +156,7 @@ std::unique_ptr<migration::MigrationManager> Testbed::make_migration(
       // Disconnect the per-VM device from the source and attach it at the
       // destination the moment execution flips (paper §IV-B).
       vmd::VmdSwapDevice* device = handle.per_vm_swap;
-      net::NodeId dest_node = dest_->node();
+      net::NodeId dest_node = destination->node();
       migration->set_on_switchover(
           [device, dest_node] { device->attach_to(dest_node); });
       return migration;
@@ -148,7 +168,7 @@ std::unique_ptr<migration::MigrationManager> Testbed::make_migration(
       auto migration = std::make_unique<migration::ScatterGatherMigration>(
           &cluster_, params, config);
       vmd::VmdSwapDevice* device = handle.per_vm_swap;
-      net::NodeId dest_node = dest_->node();
+      net::NodeId dest_node = destination->node();
       migration->set_on_switchover(
           [device, dest_node] { device->attach_to(dest_node); });
       return migration;

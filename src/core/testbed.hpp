@@ -1,11 +1,12 @@
 // Public facade: the paper's testbed in one object.
 //
-// A `Testbed` assembles the three-host setup of §V — a source, a destination,
-// an external client machine, and one or more intermediate hosts contributing
-// memory to the VMD — and offers factories for VMs (with either a baseline
-// host-level swap binding or an Agile per-VM VMD namespace) and for
-// migrations of each technique. Benches and examples build everything
-// through this API.
+// A `Testbed` assembles the setup of §V — a fleet of general-purpose hosts
+// (two by default: the paper's source and destination), an external client
+// machine, and one or more intermediate hosts contributing memory to the
+// VMD — and offers factories for VMs (with either a baseline host-level swap
+// binding or an Agile per-VM VMD namespace) and for migrations of each
+// technique between any pair of hosts. Benches and examples build everything
+// through this API; `TestbedConfig::hosts` widens the fleet beyond two.
 #pragma once
 
 #include <memory>
@@ -36,6 +37,11 @@ struct TestbedConfig {
   host::ClusterConfig cluster;
   host::HostConfig source = named_host("source");
   host::HostConfig dest = named_host("dest");
+  /// Fleet mode: when non-empty these hosts are built instead of
+  /// {source, dest}, each a general-purpose migration source *and*
+  /// destination. Must contain at least two hosts; `source()`/`dest()`
+  /// keep aliasing hosts 0 and 1 for the two-host benches.
+  std::vector<host::HostConfig> hosts;
   std::uint32_t vmd_servers = 1;        ///< Intermediate hosts.
   Bytes vmd_server_capacity = 64_GiB;   ///< Free memory each contributes.
   Bytes vmd_server_disk = 0;            ///< Optional disk tier per server.
@@ -55,6 +61,7 @@ struct VmSpec {
   std::uint32_t vcpus = 2;
   SwapBinding swap = SwapBinding::kHostPartition;
   Bytes per_vm_swap_capacity = 0;  ///< 0: 2× memory.
+  std::size_t host = 0;            ///< Index of the host the VM starts on.
 };
 
 /// Everything the testbed knows about one VM.
@@ -70,14 +77,20 @@ class Testbed {
   explicit Testbed(TestbedConfig config = {});
 
   host::Cluster& cluster() { return cluster_; }
-  host::Host* source() { return source_; }
-  host::Host* dest() { return dest_; }
+  /// Two-host compatibility shim: hosts 0 and 1 of the fleet.
+  host::Host* source() { return hosts_[0]; }
+  host::Host* dest() { return hosts_[1]; }
+  std::size_t host_count() const { return hosts_.size(); }
+  host::Host* host_at(std::size_t i) { return hosts_[i]; }
+  /// Host the VM currently resides on (placement is tracked via the hosts'
+  /// attach lists, so this follows migrations). Null if on none.
+  host::Host* host_of(const vm::VirtualMachine* machine);
   net::NodeId client_node() const { return client_node_; }
 
   std::size_t vmd_server_count() const { return vmd_servers_.size(); }
   vmd::VmdServer* vmd_server_at(std::size_t i) { return vmd_servers_[i].get(); }
 
-  /// Creates a VM on the source host (no workload yet).
+  /// Creates a VM on host `spec.host` (no workload yet).
   VmHandle& create_vm(const VmSpec& spec);
 
   std::size_t vm_count() const { return vms_.size(); }
@@ -89,12 +102,21 @@ class Testbed {
   void attach_workload(VmHandle& handle,
                        std::unique_ptr<workload::Workload> load);
 
-  /// Creates (but does not start) a migration of `handle`'s VM from source to
-  /// dest. `dest_reservation` of 0 keeps the current cgroup reservation.
+  /// Creates (but does not start) a migration of `handle`'s VM from the host
+  /// it currently resides on to an explicit `destination` (any other fleet
+  /// host). `dest_reservation` of 0 keeps the current cgroup reservation.
   /// Agile requires the VM to use a per-VM swap device.
+  std::unique_ptr<migration::MigrationManager> make_migration_to(
+      Technique technique, VmHandle& handle, host::Host* destination,
+      Bytes dest_reservation = 0, migration::MigrationConfig config = {});
+
+  /// Two-host shorthand: migrate to `dest()` (host 1).
   std::unique_ptr<migration::MigrationManager> make_migration(
       Technique technique, VmHandle& handle, Bytes dest_reservation = 0,
-      migration::MigrationConfig config = {});
+      migration::MigrationConfig config = {}) {
+    return make_migration_to(technique, handle, dest(), dest_reservation,
+                             config);
+  }
 
   /// Shorthand used everywhere in the benches.
   Rng make_rng(std::string_view tag) { return cluster_.make_rng(tag); }
@@ -102,8 +124,7 @@ class Testbed {
  private:
   TestbedConfig config_;
   host::Cluster cluster_;
-  host::Host* source_;
-  host::Host* dest_;
+  std::vector<host::Host*> hosts_;
   net::NodeId client_node_;
   std::vector<std::unique_ptr<vmd::VmdServer>> vmd_servers_;
   std::vector<std::unique_ptr<vmd::VmdClient>> vmd_clients_;

@@ -97,6 +97,8 @@ class MigrationManager {
   virtual const char* technique() const = 0;
 
   vm::VirtualMachine* machine() const { return params_.machine; }
+  host::Host* source_host() const { return params_.source; }
+  host::Host* dest_host() const { return params_.dest; }
 
   /// Destination-process memory. The pointer is stable from start() through
   /// the end of the migration (ownership moves into the VM at switchover,

@@ -38,7 +38,37 @@ TriggerDecision evaluate_watermarks(Bytes host_ram, Bytes host_os_bytes,
     remaining -= vms[idx].wss;
   }
   decision.aggregate_after = remaining;
+  // Every VM is gone and we are still over the low watermark: the host OS
+  // alone holds the pressure and no amount of migration can relieve it.
+  decision.insufficient = remaining > low;
   return decision;
+}
+
+std::vector<std::size_t> place_victims(const std::vector<Bytes>& victim_wss,
+                                       const std::vector<HostHeadroom>& hosts,
+                                       double low_watermark) {
+  AGILE_CHECK(low_watermark > 0 && low_watermark <= 1.0);
+  // Remaining admissible bytes per candidate (0 when already at/over low).
+  std::vector<Bytes> headroom(hosts.size(), 0);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const auto low =
+        static_cast<Bytes>(low_watermark * static_cast<double>(hosts[i].ram));
+    if (hosts[i].committed < low) headroom[i] = low - hosts[i].committed;
+  }
+  std::vector<std::size_t> placement(victim_wss.size(), kNoPlacement);
+  for (std::size_t v = 0; v < victim_wss.size(); ++v) {
+    std::size_t best = kNoPlacement;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (headroom[i] < victim_wss[v]) continue;
+      // Best-fit: strictly-smaller comparison keeps the earliest candidate
+      // on ties, so placement is deterministic for any input order.
+      if (best == kNoPlacement || headroom[i] < headroom[best]) best = i;
+    }
+    if (best == kNoPlacement) continue;
+    placement[v] = best;
+    headroom[best] -= victim_wss[v];
+  }
+  return placement;
 }
 
 }  // namespace agile::wss

@@ -33,11 +33,38 @@ struct TriggerDecision {
   std::vector<std::size_t> victims;      ///< Indices into the input entries.
   Bytes aggregate_wss = 0;
   Bytes aggregate_after = 0;             ///< After the victims leave.
+  /// Evicting every VM still leaves the aggregate above the low watermark
+  /// (the host OS alone exceeds it, or there were no VMs to evict).
+  /// Migration cannot fully relieve this host.
+  bool insufficient = false;
 };
 
 /// Pure decision logic (unit-testable without a cluster).
 TriggerDecision evaluate_watermarks(Bytes host_ram, Bytes host_os_bytes,
                                     const std::vector<VmPressure>& vms,
                                     const WatermarkConfig& config);
+
+/// A destination candidate for victim placement. `committed` is everything
+/// already claimed against its RAM: host OS, the working sets of resident
+/// VMs, and reservations of migrations already in flight toward it.
+struct HostHeadroom {
+  std::string name;
+  Bytes ram = 0;
+  Bytes committed = 0;
+};
+
+/// Returned by `place_victims` for a victim no candidate can admit.
+inline constexpr std::size_t kNoPlacement = static_cast<std::size_t>(-1);
+
+/// Pure destination placement: assigns each victim (its WSS, in input order)
+/// to the candidate host with the least headroom that still admits it below
+/// `low_watermark × ram` — best-fit, so big victims keep their options open.
+/// Ties break by candidate input order for determinism. Each placement
+/// reserves the victim's WSS against the chosen candidate before the next
+/// victim is placed, so one decision cannot overcommit a destination.
+/// Victims that fit nowhere get `kNoPlacement`.
+std::vector<std::size_t> place_victims(const std::vector<Bytes>& victim_wss,
+                                       const std::vector<HostHeadroom>& hosts,
+                                       double low_watermark);
 
 }  // namespace agile::wss

@@ -57,6 +57,93 @@ TEST(Watermark, TieBreaksByInputOrder) {
 TEST(Watermark, EmptyHostNeverPressured) {
   TriggerDecision d = evaluate_watermarks(16_GiB, 200_MiB, {}, {});
   EXPECT_FALSE(d.pressure);
+  EXPECT_FALSE(d.insufficient);
+}
+
+TEST(Watermark, HostOsAloneOverHighIsInsufficient) {
+  // The host OS exceeds the high watermark by itself: every VM is selected
+  // and the decision is explicitly flagged as insufficient.
+  std::vector<VmPressure> vms = {{"a", 1_GiB}, {"b", 512_MiB}};
+  TriggerDecision d = evaluate_watermarks(10_GiB, static_cast<Bytes>(9.5 * 1_GiB),
+                                          vms, {});
+  ASSERT_TRUE(d.pressure);
+  EXPECT_EQ(d.victims.size(), vms.size());
+  EXPECT_TRUE(d.insufficient);
+  EXPECT_GT(d.aggregate_after, static_cast<Bytes>(0.75 * 10_GiB));
+}
+
+TEST(Watermark, ZeroVmsOverHighIsInsufficient) {
+  TriggerDecision d = evaluate_watermarks(1_GiB, 1_GiB, {}, {});
+  ASSERT_TRUE(d.pressure);
+  EXPECT_TRUE(d.victims.empty());
+  EXPECT_TRUE(d.insufficient);
+}
+
+TEST(Watermark, SufficientEvictionIsNotFlagged) {
+  std::vector<VmPressure> vms = {{"a", 9_GiB}, {"b", 1_GiB}};
+  TriggerDecision d = evaluate_watermarks(10_GiB, 0, vms, {});
+  ASSERT_TRUE(d.pressure);
+  EXPECT_FALSE(d.insufficient);
+}
+
+TEST(Watermark, LowEqualsHighIsAccepted) {
+  // A degenerate band: any crossing must come back under the same line.
+  std::vector<VmPressure> vms = {{"a", 5_GiB}, {"b", 4_GiB}};
+  WatermarkConfig cfg{.high = 0.80, .low = 0.80};
+  TriggerDecision d = evaluate_watermarks(10_GiB, 0, vms, cfg);
+  ASSERT_TRUE(d.pressure);
+  ASSERT_EQ(d.victims.size(), 1u);
+  EXPECT_EQ(d.victims[0], 0u);
+  EXPECT_LE(d.aggregate_after, static_cast<Bytes>(0.80 * 10_GiB));
+  EXPECT_FALSE(d.insufficient);
+}
+
+// --- destination placement (pure logic) -----------------------------------
+
+TEST(Placement, BestFitPicksTightestSufficientHeadroom) {
+  // low = 1.0 to make headroom arithmetic transparent.
+  std::vector<HostHeadroom> hosts = {{"h0", 8_GiB, 1_GiB},   // headroom 7
+                                     {"h1", 4_GiB, 1_GiB},   // headroom 3
+                                     {"h2", 8_GiB, 4_GiB}};  // headroom 4
+  std::vector<std::size_t> p = place_victims({2_GiB}, hosts, 1.0);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 1u);  // tightest fit that still admits 2 GiB
+}
+
+TEST(Placement, TiesBreakByInputOrder) {
+  std::vector<HostHeadroom> hosts = {{"h0", 4_GiB, 0}, {"h1", 4_GiB, 0}};
+  std::vector<std::size_t> p = place_victims({1_GiB}, hosts, 1.0);
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Placement, EarlierPlacementsReserveHeadroom) {
+  // Both victims fit h0 individually, but the first placement consumes its
+  // headroom so the second spreads to h1.
+  std::vector<HostHeadroom> hosts = {{"h0", 4_GiB, 1_GiB},
+                                     {"h1", 8_GiB, 1_GiB}};
+  std::vector<std::size_t> p = place_victims({2_GiB, 2_GiB}, hosts, 1.0);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 0u);  // best fit: 3 GiB headroom < 7 GiB
+  EXPECT_EQ(p[1], 1u);  // h0 only has 1 GiB left
+}
+
+TEST(Placement, RespectsLowWatermarkNotRawRam) {
+  // 8 GiB host at low = 0.5 admits only up to 4 GiB committed.
+  std::vector<HostHeadroom> hosts = {{"h0", 8_GiB, 3_GiB}};
+  EXPECT_EQ(place_victims({2_GiB}, hosts, 0.5)[0], kNoPlacement);
+  EXPECT_EQ(place_victims({1_GiB}, hosts, 0.5)[0], 0u);
+}
+
+TEST(Placement, UnplaceableVictimGetsNoPlacement) {
+  std::vector<HostHeadroom> hosts = {{"h0", 2_GiB, 1_GiB}};
+  std::vector<std::size_t> p = place_victims({4_GiB, 512_MiB}, hosts, 1.0);
+  EXPECT_EQ(p[0], kNoPlacement);
+  EXPECT_EQ(p[1], 0u);  // later victims still get their shot
+}
+
+TEST(Placement, NoCandidatesMeansNoPlacement) {
+  std::vector<std::size_t> p = place_victims({1_GiB}, {}, 0.75);
+  EXPECT_EQ(p[0], kNoPlacement);
 }
 
 // --- reservation controller (closed loop on a live testbed) ---------------

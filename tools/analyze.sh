@@ -3,7 +3,7 @@
 #
 # Runs, in order:
 #   1. werror     — default preset rebuilt with AGILE_WERROR=ON (warning-clean gate)
-#   2. lint       — tools/lint_determinism.py over src/ + bench/
+#   2. lint       — tools/lint_determinism.py over src/ + bench/ + examples/
 #   3. asan-ubsan — full ctest suite under ASan+UBSan with audits compiled in
 #   4. tsan       — thread_pool / parallel_sweep / wire tests under TSan
 #   5. tidy       — clang-tidy over every TU (skipped when clang-tidy is absent)
@@ -62,7 +62,7 @@ if want werror; then
 fi
 
 if want lint; then
-  echo "== lint: determinism lint over src/ + bench/"
+  echo "== lint: determinism lint over src/ + bench/ + examples/"
   if python3 tools/lint_determinism.py; then
     record lint PASS
   else

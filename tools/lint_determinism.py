@@ -24,8 +24,8 @@ byte-identical across runs, job counts and audit modes, so the module may not
 even *include* <chrono> or <random>, read the environment (getenv), or use
 unordered containers at all (export order must never depend on hashing).
 
-Scope: src/ and bench/ (tests may use wall clocks for timeouts). Exceptions go
-in tools/lint_determinism_allow.txt, one per line:
+Scope: src/, bench/ and examples/ (tests may use wall clocks for timeouts).
+Exceptions go in tools/lint_determinism_allow.txt, one per line:
 
     path-suffix :: line-substring   # rationale
 
@@ -40,7 +40,7 @@ import re
 import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SCAN_DIRS = ("src", "bench")
+SCAN_DIRS = ("src", "bench", "examples")
 EXTS = (".cpp", ".hpp", ".cc", ".h")
 ALLOWLIST_PATH = os.path.join(REPO, "tools", "lint_determinism_allow.txt")
 
