@@ -124,8 +124,11 @@ inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
 /// sim events | 14.1M events/s`.
 /// When `name` is non-empty, the same numbers are mirrored machine-readably
 /// to `<out_dir>/BENCH_<name>.json` so CI can diff sweep throughput across
-/// commits without scraping stdout.
-inline void footer(const std::string& name = "") {
+/// commits without scraping stdout. `extra_json` lets a bench append its own
+/// result fields to that file: complete `"key": value` lines, two-space
+/// indented, no leading or trailing comma.
+inline void footer(const std::string& name = "",
+                   const std::string& extra_json = "") {
   const SweepStats& s = sweep_stats();
   double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                               s.wall_start)
@@ -165,14 +168,15 @@ inline void footer(const std::string& name = "") {
                  "  \"runs_incomplete\": %llu,\n"
                  "  \"incomplete\": %s,\n"
                  "  \"sim_events\": %llu,\n"
-                 "  \"events_per_sec\": %.0f\n"
-                 "}\n",
+                 "  \"events_per_sec\": %.0f",
                  name.c_str(), quick_mode() ? "true" : "false", wall,
                  sweep_jobs(), static_cast<unsigned long long>(executed),
                  static_cast<unsigned long long>(cached),
                  static_cast<unsigned long long>(incomplete),
                  incomplete > 0 ? "true" : "false",
                  static_cast<unsigned long long>(events), rate);
+    if (!extra_json.empty()) std::fprintf(f, ",\n%s", extra_json.c_str());
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
   }
 }

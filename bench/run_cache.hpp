@@ -34,7 +34,7 @@ namespace agile::bench {
 
 /// Bumped whenever the on-disk field list changes; older files read as
 /// corrupt and are discarded.
-inline constexpr const char* kCacheFormatTag = "agilecache.v2";
+inline constexpr const char* kCacheFormatTag = "agilecache.v3";
 
 struct CachedRun {
   migration::MigrationMetrics migration;
@@ -58,17 +58,18 @@ inline std::optional<CachedRun> load_cached(const std::string& key) {
   char tag[32] = {0};
   long long start = 0, swo = 0, end = 0, down = 0;
   unsigned long long bytes = 0, full = 0, desc = 0, demand = 0, swapin = 0,
-                     dup = 0;
+                     dup = 0, zero = 0, saved = 0;
   unsigned rounds = 0;
   int completed = 0;
-  int n = std::fscanf(f, "%31s %lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %lf",
+  int n = std::fscanf(f, "%31s %lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %llu %llu %u %d %lf",
                       tag, &start, &swo, &end, &down, &bytes, &full, &desc,
-                      &demand, &swapin, &dup, &rounds, &completed, &r.avg_perf);
+                      &demand, &swapin, &dup, &zero, &saved, &rounds,
+                      &completed, &r.avg_perf);
   std::fclose(f);
-  if (n != 14 || std::strcmp(tag, kCacheFormatTag) != 0) {
+  if (n != 16 || std::strcmp(tag, kCacheFormatTag) != 0) {
     AGILE_LOG_WARN("bench cache: discarding corrupt entry '%s' (%s)",
                    cache_path(key).c_str(),
-                   n != 14 ? "short/garbled read" : "format-version mismatch");
+                   n != 16 ? "short/garbled read" : "format-version mismatch");
     return std::nullopt;
   }
   r.migration.start_time = start;
@@ -81,6 +82,8 @@ inline std::optional<CachedRun> load_cached(const std::string& key) {
   r.migration.pages_demand_served = demand;
   r.migration.pages_swapped_in_at_source = swapin;
   r.migration.duplicate_pages = dup;
+  r.migration.pages_zero_elided = zero;
+  r.migration.compressed_bytes_saved = saved;
   r.migration.precopy_rounds = rounds;
   r.migration.completed = completed != 0;
   return r;
@@ -100,7 +103,7 @@ inline void store_cached(const std::string& key, const CachedRun& r) {
     return;
   }
   const migration::MigrationMetrics& m = r.migration;
-  std::fprintf(f, "%s %lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %u %d %.17g\n",
+  std::fprintf(f, "%s %lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %llu %llu %u %d %.17g\n",
                kCacheFormatTag,
                static_cast<long long>(m.start_time),
                static_cast<long long>(m.switchover_time),
@@ -112,6 +115,8 @@ inline void store_cached(const std::string& key, const CachedRun& r) {
                static_cast<unsigned long long>(m.pages_demand_served),
                static_cast<unsigned long long>(m.pages_swapped_in_at_source),
                static_cast<unsigned long long>(m.duplicate_pages),
+               static_cast<unsigned long long>(m.pages_zero_elided),
+               static_cast<unsigned long long>(m.compressed_bytes_saved),
                m.precopy_rounds, m.completed ? 1 : 0, r.avg_perf);
   std::fclose(f);
   if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {

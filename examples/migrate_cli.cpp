@@ -10,6 +10,9 @@
 //   --host-gb=N        source/dest host RAM in GiB       (default 2)
 //   --busy             run a YCSB client during migration
 //   --read-fraction=F  busy client's read share          (default 0.8)
+//   --streams=N        parallel wire streams             (default 1)
+//   --compression=off|fast|heavy   modeled page compression (default off)
+//   --zero-fraction=F  all-zero share of prefilled pages (default 0)
 //   --seed=N           simulation seed                   (default 42)
 //   --timeline         print 1 s throughput samples while migrating
 //   --trace-out=FILE   record a Chrome trace_event JSON of the run
@@ -49,6 +52,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--technique=precopy|postcopy|agile|scatter-gather]\n"
                "          [--vm-gb=N] [--host-gb=N] [--busy]\n"
+               "          [--streams=N] [--compression=off|fast|heavy]\n"
+               "          [--zero-fraction=F]\n"
                "          [--read-fraction=F] [--seed=N] [--timeline]\n"
                "          [--trace-out=FILE]\n"
                "          [--watermark-high=F] [--watermark-low=F]\n"
@@ -128,6 +133,9 @@ int main(int argc, char** argv) {
   double duration_s = 400;
   std::uint64_t seed = 42;
   std::uint32_t fleet_hosts = 4, fleet_vms = 6, fleet_hot = 3;
+  std::uint32_t streams = 1;
+  migration::Compression compression = migration::Compression::kOff;
+  double zero_fraction = 0.0;
   bool busy = false, timeline = false, fleet = false;
   std::string trace_out;
 
@@ -151,6 +159,20 @@ int main(int argc, char** argv) {
       host_gb = std::stod(v);
     } else if (parse_flag(argv[i], "read-fraction", &v)) {
       read_fraction = std::stod(v);
+    } else if (parse_flag(argv[i], "streams", &v)) {
+      streams = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (parse_flag(argv[i], "compression", &v)) {
+      if (v == "off") {
+        compression = migration::Compression::kOff;
+      } else if (v == "fast") {
+        compression = migration::Compression::kFast;
+      } else if (v == "heavy") {
+        compression = migration::Compression::kHeavy;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (parse_flag(argv[i], "zero-fraction", &v)) {
+      zero_fraction = std::stod(v);
     } else if (parse_flag(argv[i], "watermark-high", &v)) {
       watermark_high = std::stod(v);
     } else if (parse_flag(argv[i], "watermark-low", &v)) {
@@ -204,6 +226,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "vm/host sizes too small to model\n");
     return 2;
   }
+  if (streams < 1 || streams > migration::StreamGroup::kMaxStreams ||
+      zero_fraction < 0.0 || zero_fraction > 1.0) {
+    return usage(argv[0]);
+  }
   core::scenarios::SingleVmOptions opt;
   opt.technique = technique;
   opt.vm_memory = static_cast<Bytes>(vm_gb * static_cast<double>(1_GiB));
@@ -212,6 +238,9 @@ int main(int argc, char** argv) {
   opt.read_fraction = read_fraction;
   opt.seed = seed;
   opt.trace = !trace_out.empty();
+  opt.num_streams = streams;
+  opt.compression = compression;
+  opt.zero_page_fraction = zero_fraction;
   core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
   if (busy && sc.ycsb == nullptr) return usage(argv[0]);
   std::printf("Preparing a %.1f GiB %s VM on a %.1f GiB host (%s)...\n", vm_gb,
@@ -244,7 +273,11 @@ int main(int argc, char** argv) {
           wss::evaluate_watermarks(host_ram, host_os, vms, watermarks);
         });
   }
-  sc.migration = sc.bed->make_migration(opt.technique, *sc.handle);
+  migration::MigrationConfig mcfg;
+  mcfg.num_streams = opt.num_streams;
+  mcfg.compression = opt.compression;
+  sc.migration = sc.bed->make_migration(opt.technique, *sc.handle,
+                                        /*dest_reservation=*/0, mcfg);
   sc.migration->start();
   double start = sc.bed->cluster().now_seconds();
   while (!sc.migration->completed() &&
@@ -273,6 +306,9 @@ int main(int argc, char** argv) {
              metrics::Table::num(to_mib(m.bytes_scattered), 0)});
   t.add_row({"full pages sent", std::to_string(m.pages_sent_full)});
   t.add_row({"descriptors sent", std::to_string(m.pages_sent_descriptor)});
+  t.add_row({"zero pages elided", std::to_string(m.pages_zero_elided)});
+  t.add_row({"compression savings (MiB)",
+             metrics::Table::num(to_mib(m.compressed_bytes_saved), 0)});
   t.add_row({"demand faults over network", std::to_string(m.pages_demand_served)});
   t.add_row({"swap-ins at source", std::to_string(m.pages_swapped_in_at_source)});
   t.add_row({"pre-copy rounds", std::to_string(m.precopy_rounds)});

@@ -120,6 +120,12 @@ SingleVm make_single_vm(const SingleVmOptions& options) {
   cfg.source.host_os_bytes = 500_MiB;
   cfg.dest = cfg.source;
   cfg.dest.name = "dest";
+  if (options.link_bits_per_sec > 0) {
+    cfg.cluster.network.link_bits_per_sec = options.link_bits_per_sec;
+  }
+  if (options.flow_max_bits_per_sec > 0) {
+    cfg.cluster.network.flow_max_bits_per_sec = options.flow_max_bits_per_sec;
+  }
   scenario.bed = std::make_unique<Testbed>(cfg);
   Testbed& bed = *scenario.bed;
 
@@ -131,6 +137,7 @@ SingleVm make_single_vm(const SingleVmOptions& options) {
   spec.reservation = reservation;
   spec.vcpus = 2;
   spec.swap = binding_for(options.technique);
+  spec.zero_page_fraction = options.zero_page_fraction;
   scenario.handle = &bed.create_vm(spec);
 
   if (options.busy) {
@@ -166,7 +173,12 @@ void SingleVm::prepare() {
 }
 
 void SingleVm::run_migration(double limit_s) {
-  migration = bed->make_migration(options.technique, *handle);
+  migration::MigrationConfig mcfg;
+  mcfg.num_streams = options.num_streams;
+  mcfg.compression = options.compression;
+  if (options.send_window > 0) mcfg.send_window = options.send_window;
+  migration = bed->make_migration(options.technique, *handle,
+                                  /*dest_reservation=*/0, mcfg);
   migration->start();
   double deadline = bed->cluster().now_seconds() + limit_s;
   while (!migration->completed() && bed->cluster().now_seconds() < deadline) {

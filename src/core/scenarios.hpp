@@ -88,6 +88,19 @@ struct SingleVmOptions {
   /// Record a trace of the run (spans/counters from every layer). Read it
   /// from `SingleVm::session` after the migration.
   bool trace = false;
+  /// Wire data-path knobs. Defaults keep the classic single-stream,
+  /// uncompressed path (byte-identical to the pre-multi-stream scenarios).
+  std::uint32_t num_streams = 1;
+  migration::Compression compression = migration::Compression::kOff;
+  /// Fraction of the VM's prefilled pages that are all-zero (elided to
+  /// descriptors when > 0).
+  double zero_page_fraction = 0.0;
+  /// Network overrides; 0 keeps the NetworkConfig defaults (1 Gbps NIC,
+  /// no per-flow cap).
+  double link_bits_per_sec = 0.0;
+  double flow_max_bits_per_sec = 0.0;
+  /// Send-window override; 0 keeps the engine default.
+  Bytes send_window = 0;
 };
 
 struct SingleVm {

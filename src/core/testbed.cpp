@@ -85,6 +85,7 @@ VmHandle& Testbed::create_vm(const VmSpec& spec) {
   mem::GuestMemoryConfig mem_cfg;
   mem_cfg.size = spec.memory;
   mem_cfg.reservation = reservation;
+  mem_cfg.zero_page_fraction = spec.zero_page_fraction;
   auto memory = std::make_unique<mem::GuestMemory>(
       mem_cfg, swap_device, cluster_.make_rng(spec.name + "/mem"));
 

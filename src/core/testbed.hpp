@@ -62,6 +62,9 @@ struct VmSpec {
   SwapBinding swap = SwapBinding::kHostPartition;
   Bytes per_vm_swap_capacity = 0;  ///< 0: 2× memory.
   std::size_t host = 0;            ///< Index of the host the VM starts on.
+  /// Fraction of prefilled pages whose content is all zeroes (free-page pools,
+  /// zeroed allocations). 0 keeps zero tracking off entirely.
+  double zero_page_fraction = 0.0;
 };
 
 /// Everything the testbed knows about one VM.

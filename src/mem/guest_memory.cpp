@@ -21,11 +21,17 @@ GuestMemory::GuestMemory(const GuestMemoryConfig& config,
   AGILE_CHECK(page_count_ > 0);
   AGILE_CHECK(swap_ != nullptr);
   AGILE_CHECK(config_.eviction_samples > 0);
+  AGILE_CHECK(config_.zero_page_fraction >= 0.0 &&
+              config_.zero_page_fraction <= 1.0);
+  zero_threshold_ = static_cast<std::uint32_t>(
+      config_.zero_page_fraction * 10000.0 + 0.5);
+  zero_tracking_ = zero_threshold_ > 0;
   state_.assign(page_count_, static_cast<std::uint8_t>(PageState::kUntouched));
   slot_.assign(page_count_, swap::kNoSlot);
   swap_copy_clean_.reset(page_count_, false);
   touched_.reset(page_count_, false);
   swapped_.reset(page_count_, false);
+  zero_.reset(page_count_, false);
   page_lru_.assign(page_count_, PageLru{kNoPos, 0});
   resident_.reserve(std::min<std::uint64_t>(page_count_, reservation_pages_ + 1));
   if (audit::enabled()) deep_audit();
@@ -72,6 +78,7 @@ SimTime GuestMemory::touch_slow(PageIndex p, bool write, std::uint32_t tick) {
   }
   stamp_access(p, tick);
   if (write) {
+    if (zero_tracking_) zero_.clear(p);  // written content is not zeroes
     if (slot_[p] != swap::kNoSlot) {
       // Contents diverge from the swap copy; drop the swap-cache entry.
       swap_->free_slot(slot_[p]);
@@ -87,7 +94,12 @@ void GuestMemory::prefill(std::uint64_t n, std::uint32_t tick) {
   AGILE_CHECK(n <= page_count_);
   AGILE_TRACE_SPAN(trace_component_, "prefill", trace_id_,
                    static_cast<double>(n));
-  for (PageIndex p = 0; p < n; ++p) touch(p, /*write=*/true, tick);
+  for (PageIndex p = 0; p < n; ++p) {
+    touch(p, /*write=*/true, tick);
+    // Marked after the touch (which clears the bit): a configured fraction of
+    // prefilled pages holds all-zero content until the guest writes to it.
+    if (zero_tracking_ && zero_selected(p)) zero_.set(p);
+  }
 }
 
 void GuestMemory::set_reservation(Bytes bytes) {
@@ -141,6 +153,7 @@ void GuestMemory::release_page(PageIndex p) {
     case PageState::kRemote:
       return;  // already gone
   }
+  if (zero_tracking_) zero_.clear(p);  // this memory holds no copy any more
   state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
   touched_.set(p);
   ++remote_count_;
@@ -220,6 +233,7 @@ void GuestMemory::receive_overwrite(PageIndex p, std::uint32_t tick) {
       return;  // fresh page, no slot possible
   }
   stamp_access(p, tick);
+  if (zero_tracking_) zero_.clear(p);  // incoming content is unknown
   if (slot_[p] != swap::kNoSlot) {
     // The incoming copy supersedes the swap copy.
     swap_->free_slot(slot_[p]);
@@ -255,6 +269,7 @@ void GuestMemory::invalidate_to_remote(PageIndex p, bool free_slot) {
     slot_[p] = swap::kNoSlot;
     swap_copy_clean_.clear(p);
   }
+  if (zero_tracking_) zero_.clear(p);
   state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
   touched_.set(p);
   ++remote_count_;
@@ -288,6 +303,7 @@ void GuestMemory::teardown(bool free_slots) {
   remote_count_ = page_count_;
   touched_.set_all();
   swapped_.clear_all();
+  zero_.clear_all();
   if (audit::enabled()) deep_audit();
 }
 
@@ -387,6 +403,11 @@ void GuestMemory::deep_audit() const {
   touched_.deep_audit();
   swapped_.deep_audit();
   swap_copy_clean_.deep_audit();
+  zero_.deep_audit();
+  if (!zero_tracking_) {
+    AGILE_CHECK_S(zero_.none())
+        << "zero-page bits set while tracking is disabled";
+  }
 
   std::uint64_t resident = 0, swapped = 0, remote = 0;
   for (PageIndex p = 0; p < page_count_; ++p) {
@@ -415,6 +436,11 @@ void GuestMemory::deep_audit() const {
     AGILE_CHECK(touched_.test(p) == (st != PageState::kUntouched));
     AGILE_CHECK(swapped_.test(p) == (st == PageState::kSwapped));
     if (swap_copy_clean_.test(p)) AGILE_CHECK(slot_[p] != swap::kNoSlot);
+    if (zero_.test(p)) {
+      // A zero mark asserts "this memory holds an all-zero copy": only pages
+      // with a local copy qualify.
+      AGILE_CHECK(st == PageState::kResident || st == PageState::kSwapped);
+    }
   }
   AGILE_CHECK(resident == resident_.size());
   AGILE_CHECK(swapped == swapped_.count());

@@ -54,6 +54,12 @@ struct GuestMemoryConfig {
   Bytes size = 1_GiB;            ///< Guest physical memory size.
   Bytes reservation = 1_GiB;     ///< cgroup memory reservation.
   std::uint32_t eviction_samples = 8;  ///< Sampled-LRU candidate count.
+  /// Fraction of touched pages whose content is all zeroes (page-cache slack,
+  /// zeroed-but-never-reused allocations). Marked deterministically at
+  /// prefill by a hash of the page index — never from `rng_`, so enabling it
+  /// cannot perturb the eviction-sampling draw order. A guest write clears
+  /// the mark. The migration senders elide such pages to a descriptor.
+  double zero_page_fraction = 0.0;
 };
 
 class GuestMemory {
@@ -87,6 +93,19 @@ class GuestMemory {
   /// mostly-untouched memories.
   const Bitmap& touched_bitmap() const { return touched_; }
 
+  /// Zero-page classification (see GuestMemoryConfig::zero_page_fraction).
+  /// True when page `p` is touched but its content is all zeroes, so a
+  /// migration sender may ship a descriptor instead of the 4 KiB payload.
+  /// Always false when tracking is off (the default).
+  bool is_zero_page(PageIndex p) const {
+    AGILE_CHECK(p < page_count_);
+    return zero_tracking_ && zero_.test(p);
+  }
+  /// True when zero-page classification is active. Senders use this to skip
+  /// per-page zero probes entirely on default-configured memories.
+  bool zero_tracking() const { return zero_tracking_; }
+  std::uint64_t zero_pages() const { return zero_.count(); }
+
   /// End of the maximal run of pages sharing page `p`'s state, capped at
   /// `limit`: every page in [p, result) has state(p). The senders use this to
   /// coalesce contiguous same-class pages into one wire message.
@@ -114,6 +133,7 @@ class GuestMemory {
     if (static_cast<PageState>(state_[p]) == PageState::kResident) {
       stamp_access(p, tick);
       if (!write) return 0;
+      if (zero_tracking_) zero_.clear(p);  // written content is not zeroes
       if (slot_[p] == swap::kNoSlot) {
         if (dirty_log_ != nullptr) dirty_log_->set(p);
         return 0;
@@ -236,6 +256,7 @@ class GuestMemory {
       swapped_.clear(p);
       state_[p] = static_cast<std::uint8_t>(PageState::kRemote);
       ++remote_count_;
+      if (zero_tracking_) zero_.clear(p);  // copy now lives at the dest
     }
     slot_[p] = swap::kNoSlot;
     swap_copy_clean_.clear(p);
@@ -334,6 +355,22 @@ class GuestMemory {
   Bitmap touched_;  ///< state != kUntouched (see touched_bitmap()).
   Bitmap swapped_;  ///< state == kSwapped (see swapped_bitmap()).
   std::uint64_t remote_count_ = 0;
+
+  /// Zero-content classification (see is_zero_page). `zero_threshold_` is
+  /// the prefill marking probability in basis points (fraction * 10000).
+  Bitmap zero_;
+  bool zero_tracking_ = false;
+  std::uint32_t zero_threshold_ = 0;
+
+  /// Deterministic page-index hash for prefill zero marking: splitmix-style
+  /// mix, independent of `rng_` so the eviction sampling stream is untouched.
+  bool zero_selected(PageIndex p) const {
+    std::uint64_t h = (static_cast<std::uint64_t>(p) + 1) * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 33;
+    h *= 0xC2B2AE3D27D4EB4Full;
+    h ^= h >> 29;
+    return h % 10000 < zero_threshold_;
+  }
 
   Bitmap* dirty_log_ = nullptr;
   MemStats stats_;

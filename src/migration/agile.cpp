@@ -55,11 +55,24 @@ SimTime AgileMigration::scan_runs(SimTime budget, std::uint32_t) {
       break;
     }
     const PageIndex p = cursor_;  // lambdas re-capture a mutable copy below
-    const PageIndex limit = pagemap.entry_run_end(p, page_count());
+    PageIndex limit = pagemap.entry_run_end(p, page_count());
     const mem::PagemapEntry e = pagemap.entry(p);
+    bool zero_run = false;
+    if (e.present && source_mem_->zero_tracking()) {
+      // Sub-split present runs on zero-content boundaries: an all-zero
+      // stretch collapses into a descriptor batch. Gated on tracking so
+      // default memories keep the O(1)-per-run scan. Swapped zero pages need
+      // no elision — they already travel as 16-byte SWAPPED descriptors.
+      zero_run = source_mem_->is_zero_page(p);
+      PageIndex z = p + 1;
+      while (z < limit && source_mem_->is_zero_page(z) == zero_run) ++z;
+      limit = z;
+    }
     // Full pages cost the copy loop; descriptor assembly is nearly free.
-    const SimTime cost = e.present ? config_.page_copy_cost : 1;
-    const Bytes item = e.present ? full_page_bytes() : config_.descriptor_bytes;
+    const SimTime cost =
+        e.present ? (zero_run ? config_.page_copy_cost : page_send_cost()) : 1;
+    const Bytes item = e.present && !zero_run ? wire_page_bytes()
+                                              : config_.descriptor_bytes;
     std::uint64_t n = limit - p;
     n = std::min(n, (static_cast<std::uint64_t>(budget) +
                      static_cast<std::uint64_t>(cost) - 1) /
@@ -85,9 +98,10 @@ SimTime AgileMigration::scan_runs(SimTime budget, std::uint32_t) {
                             installed->set_range(p, p + k);
                             p += k;
                           });
-    } else if (!e.present) {  // untouched / zero pages
+    } else if (!e.present || zero_run) {  // untouched or zero-elided pages
       metrics_.pages_sent_descriptor += n;
       metrics_.bytes_transferred += n * config_.descriptor_bytes;
+      if (zero_run) metrics_.pages_zero_elided += n;
       stream_->send_batch(n, config_.descriptor_bytes,
                           [dest, p = p](std::uint64_t k) mutable {
                             for (std::uint64_t i = 0; i < k; ++i) {
@@ -95,10 +109,9 @@ SimTime AgileMigration::scan_runs(SimTime budget, std::uint32_t) {
                             }
                           });
     } else {
-      metrics_.pages_sent_full += n;
-      metrics_.bytes_transferred += n * full_page_bytes();
+      account_full_pages(n);
       host::Cluster* cluster = cluster_;
-      stream_->send_batch(n, full_page_bytes(),
+      stream_->send_batch(n, wire_page_bytes(),
                           [dest, p = p, cluster](std::uint64_t k) mutable {
                             dest->receive_overwrite_range(p, p + k,
                                                           cluster->tick_index());
@@ -148,25 +161,26 @@ SimTime AgileMigration::push_runs(SimTime budget, std::uint32_t tick) {
     PageIndex q = p;
     std::uint64_t n = 0;
     while (q < run.end && budget > 0 &&
-           backlog + n * full_page_bytes() < config_.send_window) {
+           backlog + n * wire_page_bytes() < config_.send_window) {
       const mem::PageState st = source_mem_->state(q);
       AGILE_CHECK_MSG(st != mem::PageState::kRemote, "pushing a released page");
       if (st == mem::PageState::kUntouched) break;
-      SimTime spent = config_.page_copy_cost;
+      // No zero-elision branch here: the push set is exactly the dirty set,
+      // and a guest write clears the zero mark, so dirty pages are never zero.
+      SimTime spent = page_send_cost();
       if (st == mem::PageState::kSwapped) {
         // Rare: dirtied during the live round, then evicted again. Reading
         // the per-VM device is a remote-memory hit, not an SSD seek.
         spent += source_mem_->swap_in_for_transfer(q, tick);
       }
       budget -= spent;
-      ++metrics_.pages_sent_full;
-      metrics_.bytes_transferred += full_page_bytes();
       ++n;
       ++q;
     }
+    account_full_pages(n);
     sent_.set_range(p, q);
     push_cursor_ = q;
-    stream_->send_batch(n, full_page_bytes(),
+    stream_->send_batch(n, wire_page_bytes(),
                         [this, p = p](std::uint64_t k) mutable {
                           for (std::uint64_t i = 0; i < k; ++i) {
                             deliver_dirty_page(p++);
@@ -203,7 +217,7 @@ void AgileMigration::end_live_round() {
         << metrics_.pages_sent_descriptor << " descriptor pages, guest has "
         << page_count();
     AGILE_CHECK_S(metrics_.bytes_transferred ==
-                  metrics_.pages_sent_full * full_page_bytes() +
+                  metrics_.pages_sent_full * wire_page_bytes() +
                       metrics_.pages_sent_descriptor * config_.descriptor_bytes)
         << "live-round byte total does not decompose into page classes";
     dirty_.deep_audit();
@@ -219,9 +233,11 @@ void AgileMigration::end_live_round() {
                       static_cast<double>(dirty_total_));
 
   // CPU state + the dirty bitmap travel behind every queued page message.
+  // Fenced: with multiple streams the flip may not run until every lane has
+  // drained the live-round copies queued before it.
   Bytes flip_bytes = config_.cpu_state_bytes + (page_count() + 7) / 8;
   metrics_.bytes_transferred += flip_bytes;
-  stream_->send(flip_bytes, [this] {
+  stream_->send_fenced(flip_bytes, [this] {
     apply_dirty_invalidations();
     handoff_cold_slots();
     complete_switchover(cluster_->tick_index());

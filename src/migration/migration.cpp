@@ -1,9 +1,20 @@
 #include "migration/migration.hpp"
 
+#include <cmath>
+
 #include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace agile::migration {
+
+const char* compression_name(Compression c) {
+  switch (c) {
+    case Compression::kOff: return "off";
+    case Compression::kFast: return "fast";
+    case Compression::kHeavy: return "heavy";
+  }
+  return "?";
+}
 
 MigrationManager::MigrationManager(host::Cluster* cluster,
                                    MigrationParams params,
@@ -16,6 +27,49 @@ MigrationManager::MigrationManager(host::Cluster* cluster,
   AGILE_CHECK(params_.dest_reservation > 0);
   AGILE_CHECK_MSG(params_.source->has_vm(params_.machine),
                   "VM is not running on the source host");
+  AGILE_CHECK_MSG(config_.num_streams >= 1 &&
+                      config_.num_streams <= StreamGroup::kMaxStreams,
+                  "num_streams out of range");
+  AGILE_CHECK(config_.compress_fast_ratio > 0 && config_.compress_fast_ratio <= 1.0);
+  AGILE_CHECK(config_.compress_heavy_ratio > 0 && config_.compress_heavy_ratio <= 1.0);
+  // Resolve the compression model once: the page body shrinks by the class
+  // ratio (header framing does not compress), the sender's thread pays the
+  // class cost on top of the copy cost. Off keeps both identical to the
+  // uncompressed path, bit for bit.
+  double ratio = 1.0;
+  SimTime compress_cost = 0;
+  switch (config_.compression) {
+    case Compression::kOff:
+      break;
+    case Compression::kFast:
+      ratio = config_.compress_fast_ratio;
+      compress_cost = config_.compress_fast_cost;
+      break;
+    case Compression::kHeavy:
+      ratio = config_.compress_heavy_ratio;
+      compress_cost = config_.compress_heavy_cost;
+      break;
+  }
+  Bytes body = config_.compression == Compression::kOff
+                   ? kPageSize
+                   : static_cast<Bytes>(
+                         std::ceil(static_cast<double>(kPageSize) * ratio));
+  wire_page_bytes_ = config_.page_header + body;
+  page_send_cost_ = config_.page_copy_cost + compress_cost;
+}
+
+void MigrationManager::account_full_pages(std::uint64_t n) {
+  metrics_.pages_sent_full += n;
+  metrics_.bytes_transferred += n * wire_page_bytes_;
+  if (wire_page_bytes_ == full_page_bytes()) return;  // compression off
+  metrics_.compressed_bytes_saved += n * (full_page_bytes() - wire_page_bytes_);
+  // Sampled only while compressing, so default traces stay byte-identical.
+  AGILE_TRACE_COUNTER("wire", "compressed_bytes_saved", trace_id(),
+                      metrics_.compressed_bytes_saved);
+}
+
+bool MigrationManager::zero_elidable(PageIndex p) const {
+  return source_mem_->is_zero_page(p);
 }
 
 MigrationManager::~MigrationManager() {
@@ -43,9 +97,9 @@ void MigrationManager::start() {
   // separate track, so source evictions and dest installs don't interleave.
   dest_mem_owned_->set_trace_identity("mem.dest", trace_id());
 
-  stream_ = std::make_unique<WireStream>(&cluster_->network(),
-                                         params_.source->node(),
-                                         params_.dest->node(), trace_id());
+  stream_ = std::make_unique<StreamGroup>(
+      &cluster_->network(), params_.source->node(), params_.dest->node(),
+      trace_id(), config_.num_streams);
 
   hook_id_ = cluster_->add_control_hook(
       [this](SimTime now, SimTime dt, std::uint32_t tick) {

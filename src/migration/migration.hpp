@@ -20,10 +20,22 @@
 
 #include "host/cluster.hpp"
 #include "mem/pagemap.hpp"
-#include "migration/wire.hpp"
+#include "migration/stream_group.hpp"
 #include "util/bitmap.hpp"
 
 namespace agile::migration {
+
+/// Modeled per-page compression of full-page payloads (PMigrate's
+/// compress-new branch): the sender pays CPU time per page, the wire carries
+/// the compressed payload. Descriptors, CPU state and demand-fault RPCs are
+/// never compressed.
+enum class Compression : std::uint8_t {
+  kOff = 0,
+  kFast = 1,   ///< LZO-class: cheap, modest ratio.
+  kHeavy = 2,  ///< zlib-class: expensive, strong ratio.
+};
+
+const char* compression_name(Compression c);
 
 struct MigrationConfig {
   Bytes page_header = 64;        ///< Wire framing per full page.
@@ -33,10 +45,21 @@ struct MigrationConfig {
   std::uint32_t max_rounds = 30;        ///< Pre-copy iteration cap.
   /// Max stream backlog before the thread stalls. Must comfortably exceed
   /// one quantum of line rate (~12 MB at 1 Gbps / 100 ms) or the stream runs
-  /// dry between scheduling quanta.
+  /// dry between scheduling quanta — with multiple streams, one quantum of
+  /// the *aggregate* rate.
   Bytes send_window = 32_MiB;
   SimTime page_copy_cost = 2;    ///< µs of thread time per resident page sent.
   SimTime fault_overhead = 25;   ///< µs: UMEM trap + UMEMD dispatch.
+  /// Parallel wire streams (1..StreamGroup::kMaxStreams). Run dispatch is
+  /// deterministic round-robin; 1 keeps the single-TCP-connection model.
+  std::uint32_t num_streams = 1;
+  Compression compression = Compression::kOff;
+  /// Compression model, per full page: thread µs charged to the sender and
+  /// the payload size ratio on the wire.
+  SimTime compress_fast_cost = 5;      ///< µs/page (LZO-class).
+  double compress_fast_ratio = 0.55;
+  SimTime compress_heavy_cost = 17;    ///< µs/page (zlib-class).
+  double compress_heavy_ratio = 0.35;
 };
 
 struct MigrationMetrics {
@@ -56,6 +79,8 @@ struct MigrationMetrics {
   std::uint64_t pages_swapped_in_at_source = 0;  ///< Baseline swap-in cost.
   std::uint64_t duplicate_pages = 0;   ///< Push raced a demand fault.
   std::uint32_t precopy_rounds = 0;
+  std::uint64_t pages_zero_elided = 0;  ///< Zero pages shipped as descriptors.
+  Bytes compressed_bytes_saved = 0;     ///< full-page bytes minus wire bytes.
 
   bool completed = false;
 
@@ -126,6 +151,18 @@ class MigrationManager {
 
   std::uint64_t page_count() const { return params_.machine->page_count(); }
   Bytes full_page_bytes() const { return kPageSize + config_.page_header; }
+  /// Wire size of one full-page payload after the modeled compression stage
+  /// (== full_page_bytes() with compression off).
+  Bytes wire_page_bytes() const { return wire_page_bytes_; }
+  /// Thread µs per full page sent: the copy cost plus the compression cost.
+  SimTime page_send_cost() const { return page_send_cost_; }
+  /// Accounts `n` full pages offered to the wire: metrics bytes at the
+  /// compressed size plus the savings counter/trace sample. Engines call this
+  /// instead of open-coding `bytes_transferred += n * full_page_bytes()`.
+  void account_full_pages(std::uint64_t n);
+  /// True when page `p` can travel as a zero-page descriptor instead of a
+  /// full payload (the destination installs it as untouched).
+  bool zero_elidable(PageIndex p) const;
   /// Trace entity id: the migrating VM's lane.
   std::uint64_t trace_id() const { return params_.machine->config().trace_id; }
 
@@ -134,7 +171,7 @@ class MigrationManager {
   MigrationConfig config_;
   MigrationMetrics metrics_;
 
-  std::unique_ptr<WireStream> stream_;
+  std::unique_ptr<StreamGroup> stream_;
   std::unique_ptr<mem::GuestMemory> dest_mem_owned_;  ///< Until switchover.
   mem::GuestMemory* dest_mem_ = nullptr;              ///< Stable view of it.
   mem::GuestMemory* source_mem_ = nullptr;
@@ -145,6 +182,8 @@ class MigrationManager {
   SimTime suspend_time_ = -1;
   std::uint64_t hook_id_ = 0;
   std::function<void()> on_complete_;
+  Bytes wire_page_bytes_ = 0;     ///< Cached: header + compressed page body.
+  SimTime page_send_cost_ = 0;    ///< Cached: copy + compression µs per page.
 };
 
 }  // namespace agile::migration

@@ -13,7 +13,9 @@ void PostcopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     begin_suspend();
     AGILE_TRACE_SPAN_BEGIN("migration", "flip", trace_id());
     metrics_.bytes_transferred += config_.cpu_state_bytes;
-    stream_->send(config_.cpu_state_bytes, [this] {
+    // Fenced for uniformity: the CPU state is the first message of the
+    // migration, so the fence is trivially satisfied on delivery.
+    stream_->send_fenced(config_.cpu_state_bytes, [this] {
       complete_switchover(cluster_->tick_index());
       AGILE_TRACE_SPAN_END("migration", "flip", trace_id());
       AGILE_TRACE_SPAN_BEGIN("migration", "push", trace_id());
@@ -65,31 +67,57 @@ void PostcopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
                           });
       continue;
     }
+    if (zero_elidable(p)) {
+      // Zero-page elision run: all-zero content travels as a descriptor and
+      // installs as untouched at the destination. Classification is
+      // read-only (no swap-ins), so the class cannot change mid-run.
+      PageIndex q = p;
+      std::uint64_t n = 0;
+      while (q < run.end && budget > 0 &&
+             backlog + n * config_.descriptor_bytes < config_.send_window &&
+             zero_elidable(q)) {
+        budget -= config_.page_copy_cost;
+        ++n;
+        ++q;
+      }
+      sent_.set_range(p, q);
+      cursor_ = q;
+      metrics_.pages_sent_descriptor += n;
+      metrics_.pages_zero_elided += n;
+      metrics_.bytes_transferred += n * config_.descriptor_bytes;
+      stream_->send_batch(n, config_.descriptor_bytes,
+                          [this, p = p](std::uint64_t k) mutable {
+                            for (std::uint64_t i = 0; i < k; ++i) {
+                              deliver_page(p++);
+                            }
+                          });
+      continue;
+    }
     // Full-copy stretch (resident or swapped pages). A swap-in can evict
     // other pages — possibly inside this run — so class and cost are re-read
     // page by page while the messages coalesce into one batch.
     PageIndex q = p;
     std::uint64_t n = 0;
     while (q < run.end && budget > 0 &&
-           backlog + n * full_page_bytes() < config_.send_window) {
+           backlog + n * wire_page_bytes() < config_.send_window) {
       const mem::PageState st = source_mem_->state(q);
       AGILE_CHECK_MSG(st != mem::PageState::kRemote,
                       "pushing an already-released page");
       if (st == mem::PageState::kUntouched) break;
-      SimTime spent = config_.page_copy_cost;
+      if (zero_elidable(q)) break;  // next stretch elides to a descriptor
+      SimTime spent = page_send_cost();
       if (st == mem::PageState::kSwapped) {
         spent += source_mem_->swap_in_for_transfer(q, tick);
         ++metrics_.pages_swapped_in_at_source;
       }
       budget -= spent;
-      ++metrics_.pages_sent_full;
-      metrics_.bytes_transferred += full_page_bytes();
       ++n;
       ++q;
     }
+    account_full_pages(n);
     sent_.set_range(p, q);
     cursor_ = q;
-    stream_->send_batch(n, full_page_bytes(),
+    stream_->send_batch(n, wire_page_bytes(),
                         [this, p = p](std::uint64_t k) mutable {
                           for (std::uint64_t i = 0; i < k; ++i) {
                             deliver_page(p++);
@@ -105,7 +133,10 @@ void PostcopyMigration::deliver_page(PageIndex p) {
     ++metrics_.duplicate_pages;
   } else {
     received_.set(p);
-    if (source_mem_->state(p) == mem::PageState::kUntouched) {
+    // Untouched and zero-elided pages both install as the canonical zero
+    // page; the source still holds `p` here (release below), so the zero
+    // mark is readable and stable (the source is suspended post-flip).
+    if (source_mem_->state(p) == mem::PageState::kUntouched || zero_elidable(p)) {
       dest_mem_->install_untouched(p);
     } else {
       dest_mem_->install_resident(p, cluster_->tick_index());
@@ -124,17 +155,19 @@ SimTime PostcopyMigration::handle_fault(PageIndex p, bool, std::uint32_t tick) {
 
   mem::PageState st = source_mem_->state(p);
   AGILE_CHECK_MSG(st != mem::PageState::kRemote, "fault on a released page");
-  if (st == mem::PageState::kSwapped) {
+  const bool zero = zero_elidable(p);  // answered by descriptor, no data read
+  if (st == mem::PageState::kSwapped && !zero) {
     // The memory-constrained source must read the page off its swap device
     // before it can answer — the paper's post-copy degradation mechanism.
     latency += source_mem_->swap_in_for_transfer(p, tick, /*sequential=*/false);
     st = mem::PageState::kResident;
   }
-  if (st == mem::PageState::kUntouched) {
+  if (st == mem::PageState::kUntouched || zero) {
     latency += net.rpc_latency(dst, src, config_.descriptor_bytes);
     net.consume_background(dst, src, config_.descriptor_bytes);
     net.consume_background(src, dst, config_.descriptor_bytes);
     metrics_.bytes_transferred += config_.descriptor_bytes;
+    if (zero) ++metrics_.pages_zero_elided;
     dest_mem_->install_untouched(p);
   } else {
     latency += net.rpc_latency(dst, src, full_page_bytes());

@@ -67,6 +67,33 @@ void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
                           });
       continue;
     }
+    if (zero_elidable(p)) {
+      // Zero-page elision run: touched pages whose content is all zeroes
+      // travel as descriptors — the destination installs them as untouched
+      // (the canonical zero page). Classification is read-only, so nothing
+      // can change a page's class mid-run; swapped zero pages skip the
+      // swap-in entirely (the mark is authoritative, no data is read).
+      PageIndex q = p;
+      std::uint64_t n = 0;
+      while (q < run.end && budget > 0 &&
+             backlog + n * config_.descriptor_bytes < config_.send_window &&
+             zero_elidable(q)) {
+        budget -= config_.page_copy_cost;
+        ++n;
+        ++q;
+      }
+      dirty_.clear_range(p, q);
+      cursor_ = q;
+      metrics_.pages_sent_descriptor += n;
+      metrics_.pages_zero_elided += n;
+      metrics_.bytes_transferred += n * config_.descriptor_bytes;
+      stream_->send_batch(n, config_.descriptor_bytes,
+                          [dest, p](std::uint64_t k) mutable {
+                            dest->install_untouched_range(p, p + k);
+                            p += k;
+                          });
+      continue;
+    }
     // Full-copy stretch (resident or swapped pages). A swap-in can evict
     // other pages of this very VM — possibly inside this run — so class and
     // cost are re-read page by page; the wire messages still coalesce into a
@@ -75,10 +102,11 @@ void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     PageIndex q = p;
     std::uint64_t n = 0;
     while (q < run.end && budget > 0 &&
-           backlog + n * full_page_bytes() < config_.send_window) {
+           backlog + n * wire_page_bytes() < config_.send_window) {
       const mem::PageState st = source_mem_->state(q);
       if (st == mem::PageState::kUntouched) break;
-      SimTime spent = config_.page_copy_cost;
+      if (zero_elidable(q)) break;  // next stretch elides to a descriptor
+      SimTime spent = page_send_cost();
       if (st == mem::PageState::kSwapped) {
         // Must be brought back into memory before it can be sent (and doing
         // so can evict other pages of this very VM).
@@ -86,15 +114,14 @@ void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
         ++metrics_.pages_swapped_in_at_source;
       }
       budget -= spent;
-      ++metrics_.pages_sent_full;
-      metrics_.bytes_transferred += full_page_bytes();
       ++n;
       ++q;
     }
+    account_full_pages(n);
     dirty_.clear_range(p, q);
     cursor_ = q;
     host::Cluster* cluster = cluster_;
-    stream_->send_batch(n, full_page_bytes(),
+    stream_->send_batch(n, wire_page_bytes(),
                         [dest, p, cluster](std::uint64_t k) mutable {
                           dest->receive_overwrite_range(p, p + k,
                                                         cluster->tick_index());
@@ -122,7 +149,7 @@ void PrecopyMigration::end_of_live_round() {
           << metrics_.pages_sent_descriptor << " descriptor pages, guest has "
           << page_count();
       AGILE_CHECK_S(metrics_.bytes_transferred ==
-                    metrics_.pages_sent_full * full_page_bytes() +
+                    metrics_.pages_sent_full * wire_page_bytes() +
                         metrics_.pages_sent_descriptor * config_.descriptor_bytes)
           << "round 1 byte total does not decompose into page classes";
     }
@@ -132,8 +159,15 @@ void PrecopyMigration::end_of_live_round() {
   AGILE_TRACE_SPAN_END("migration", "round", trace_id());
   AGILE_TRACE_INSTANT("migration", "round_dirty_left", trace_id(),
                       static_cast<double>(remaining));
-  double est_seconds = static_cast<double>(remaining * full_page_bytes()) /
-                       cluster_->network().link_bytes_per_sec();
+  // Achievable stop-copy rate: the NIC pair, or — under a per-flow cap —
+  // what `num_streams` parallel connections can carry together. Pages travel
+  // at the compressed wire size. Defaults reduce to remaining * full page
+  // size over the link rate, exactly the pre-multi-stream estimate.
+  const net::Network& network = cluster_->network();
+  double rate = std::min(network.link_bytes_per_sec(),
+                         network.flow_bytes_per_sec() *
+                             static_cast<double>(config_.num_streams));
+  double est_seconds = static_cast<double>(remaining * wire_page_bytes()) / rate;
   bool converged = est_seconds * 1e6 <= static_cast<double>(config_.downtime_target);
   if (converged || round_ >= config_.max_rounds) {
     AGILE_LOG_INFO("pre-copy %s: round %u done, %llu dirty left -> stop-and-copy",
@@ -160,9 +194,10 @@ void PrecopyMigration::start_stop_copy() {
   AGILE_TRACE_SPAN_END("migration", "stop_copy", trace_id());
   AGILE_TRACE_SPAN_BEGIN("migration", "await_resume", trace_id());
   metrics_.bytes_transferred += config_.cpu_state_bytes;
-  stream_->send(config_.cpu_state_bytes, [this] {
-    // Everything was queued ahead of the CPU state on the same stream, so
-    // the destination memory is complete when this fires.
+  stream_->send_fenced(config_.cpu_state_bytes, [this] {
+    // The fence guarantees every lane drained everything queued before the
+    // CPU state (with one stream: plain FIFO order), so the destination
+    // memory is complete when this fires.
     complete_switchover(cluster_->tick_index());
     AGILE_TRACE_SPAN_END("migration", "await_resume", trace_id());
     source_mem_->teardown(/*free_slots=*/true);

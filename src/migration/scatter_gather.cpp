@@ -28,7 +28,9 @@ void ScatterGatherMigration::on_tick(SimTime now, SimTime dt,
     begin_suspend();
     AGILE_TRACE_SPAN_BEGIN("migration", "flip_wait", trace_id());
     metrics_.bytes_transferred += config_.cpu_state_bytes;
-    stream_->send(config_.cpu_state_bytes, [this] {
+    // Fenced for uniformity: the CPU state is the first message of the
+    // migration, so the fence is trivially satisfied on delivery.
+    stream_->send_fenced(config_.cpu_state_bytes, [this] {
       complete_switchover(cluster_->tick_index());
       AGILE_TRACE_SPAN_END("migration", "flip_wait", trace_id());
       AGILE_TRACE_SPAN_BEGIN("migration", "scatter", trace_id());
@@ -109,6 +111,17 @@ SimTime ScatterGatherMigration::scatter_work(PageIndex p, std::uint32_t tick) {
   handled_.set(p);
   SimTime spent = config_.page_copy_cost;
   swap::SwapSlot slot = swap::kNoSlot;
+  if (st != mem::PageState::kUntouched && zero_elidable(p)) {
+    // All-zero content: the descriptor says "untouched" (slot stays kNoSlot)
+    // and the destination installs the canonical zero page. Resident zero
+    // pages skip the eviction entirely; swapped ones keep their VMD slot at
+    // the source, which frees it at teardown — the destination never learns
+    // about it.
+    ++metrics_.pages_zero_elided;
+    scattered_slot_[p] = swap::kNoSlot;
+    source_mem_->release_page(p);
+    return spent;
+  }
   switch (st) {
     case mem::PageState::kResident: {
       // Targeted eviction: the page travels source -> intermediary (free if
@@ -196,6 +209,12 @@ SimTime ScatterGatherMigration::handle_fault(PageIndex p, bool,
   net::NodeId src = params_.source->node();
   mem::PageState st = source_mem_->state(p);
   AGILE_CHECK(st != mem::PageState::kRemote);
+  if (st != mem::PageState::kUntouched && zero_elidable(p)) {
+    // Zero content resolves like an untouched page: descriptor-only, no data
+    // read. The source keeps any VMD slot it still holds (freed at teardown).
+    ++metrics_.pages_zero_elided;
+    st = mem::PageState::kUntouched;
+  }
   switch (st) {
     case mem::PageState::kUntouched:
       scattered_slot_[p] = swap::kNoSlot;

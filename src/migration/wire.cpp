@@ -5,14 +5,15 @@
 namespace agile::migration {
 
 WireStream::WireStream(net::Network* network, net::NodeId src, net::NodeId dst,
-                       std::uint64_t trace_id)
-    : network_(network), trace_id_(trace_id) {
+                       std::uint64_t trace_id, const char* trace_component)
+    : network_(network), trace_id_(trace_id), trace_component_(trace_component) {
   AGILE_CHECK(network_ != nullptr);
+  AGILE_CHECK(trace_component_ != nullptr);
   flow_ = network_->open_flow(src, dst, [this](Bytes n) { on_progress(n); });
 }
 
 WireStream::~WireStream() {
-  if (busy_span_open_) AGILE_TRACE_SPAN_END("wire", "busy", trace_id_);
+  if (busy_span_open_) AGILE_TRACE_SPAN_END(trace_component_, "busy", trace_id_);
   network_->close_flow(flow_);
 }
 
@@ -20,7 +21,7 @@ void WireStream::send_batch(std::uint64_t items, Bytes item_bytes,
                             ChunkFn on_items) {
   AGILE_CHECK(items > 0 && item_bytes > 0);
   if (!busy_span_open_ && trace::enabled()) {
-    AGILE_TRACE_SPAN_BEGIN("wire", "busy", trace_id_);
+    AGILE_TRACE_SPAN_BEGIN(trace_component_, "busy", trace_id_);
     busy_span_open_ = true;
   }
   queue_.push_back({item_bytes, items, 0, std::move(on_items)});
@@ -56,9 +57,9 @@ void WireStream::on_progress(Bytes n) {
   delivered_ += n;
   // Per-quantum stream telemetry (the flow delivers once per network
   // quantum): backlog after this delivery, cumulative bytes received.
-  AGILE_TRACE_COUNTER("wire", "backlog_bytes", trace_id_,
+  AGILE_TRACE_COUNTER(trace_component_, "backlog_bytes", trace_id_,
                       network_->backlog(flow_));
-  AGILE_TRACE_COUNTER("wire", "delivered_bytes", trace_id_, delivered_);
+  AGILE_TRACE_COUNTER(trace_component_, "delivered_bytes", trace_id_, delivered_);
   while (n > 0 && !queue_.empty()) {
     // Deque references stay valid across push_back, so callbacks may queue
     // more messages while `m` is still the front entry.
@@ -80,23 +81,25 @@ void WireStream::on_progress(Bytes n) {
       if (fn) fn(items);
       continue;
     }
-    // Partial progress: some (possibly zero) items of the batch completed.
+    // Partial progress: some (possibly zero) items of the batch completed;
+    // everything delivered this quantum is consumed by the front entry.
     m.items_left -= done;
     m.partial = avail - done * m.item_bytes;
     items_completed_ += done;
     items_completed_bytes_ += done * m.item_bytes;
     if (done > 0 && m.on_items) m.on_items(done);
-    if (audit::enabled()) audit_conservation();
-    return;
+    n = 0;
+    break;
   }
   // The FIFO must never over-deliver: leftover bytes with an empty queue
   // would mean the network handed us more than was ever offered.
   AGILE_CHECK_S(n == 0) << "wire stream over-delivered by " << n << " bytes";
   if (busy_span_open_ && queue_.empty()) {
-    AGILE_TRACE_SPAN_END("wire", "busy", trace_id_);
+    AGILE_TRACE_SPAN_END(trace_component_, "busy", trace_id_);
     busy_span_open_ = false;
   }
   if (audit::enabled()) audit_conservation();
+  if (progress_listener_) progress_listener_();
 }
 
 }  // namespace agile::migration

@@ -32,8 +32,12 @@ class WireStream {
   using ChunkFn = InlineFunction<void(std::uint64_t)>;
 
   /// `trace_id` is the trace-lane of the owning migration's VM (0 = global).
+  /// `trace_component` names the trace thread ("wire" for the primary lane;
+  /// a StreamGroup gives secondary lanes their own component so each stream
+  /// shows up as its own lane in the Chrome export). Must be a string with
+  /// static storage duration — the trace recorder stores the pointer.
   WireStream(net::Network* network, net::NodeId src, net::NodeId dst,
-             std::uint64_t trace_id = 0);
+             std::uint64_t trace_id = 0, const char* trace_component = "wire");
   ~WireStream();
 
   WireStream(const WireStream&) = delete;
@@ -69,6 +73,14 @@ class WireStream {
   /// Queue entries in flight (a batch of any length counts once).
   std::size_t queued_messages() const { return queue_.size(); }
 
+  /// Installs a hook invoked once at the end of every delivery quantum (after
+  /// all chunk callbacks of that quantum have fired). A StreamGroup uses this
+  /// to re-evaluate cross-lane fences and run the group byte-conservation
+  /// auditor. At most one listener; pass nullptr to clear.
+  void set_progress_listener(InlineFunction<void()> listener) {
+    progress_listener_ = std::move(listener);
+  }
+
  private:
   void on_progress(Bytes n);
 
@@ -90,7 +102,9 @@ class WireStream {
   net::Network* network_;
   net::FlowId flow_;
   std::uint64_t trace_id_ = 0;
+  const char* trace_component_ = "wire";
   bool busy_span_open_ = false;  ///< A "wire/busy" trace span is open.
+  InlineFunction<void()> progress_listener_;
   std::deque<Message> queue_;
   Bytes delivered_ = 0;
   Bytes offered_ = 0;

@@ -11,7 +11,15 @@ namespace agile::net {
 Network::Network(NetworkConfig config) : config_(config) {
   AGILE_CHECK(config_.link_bits_per_sec > 0);
   AGILE_CHECK(config_.protocol_efficiency > 0 && config_.protocol_efficiency <= 1.0);
+  AGILE_CHECK(config_.flow_max_bits_per_sec >= 0);
   payload_rate_ = config_.link_bits_per_sec / 8.0 * config_.protocol_efficiency;
+  // Uncapped flows carry an infinite per-flow budget: min(x, inf) == x, so
+  // the default allocation arithmetic is bitwise identical to the pre-cap
+  // model (the golden tests depend on that).
+  flow_payload_rate_ =
+      config_.flow_max_bits_per_sec > 0
+          ? config_.flow_max_bits_per_sec / 8.0 * config_.protocol_efficiency
+          : std::numeric_limits<double>::infinity();
 }
 
 NodeId Network::add_node(std::string name) {
@@ -82,17 +90,25 @@ void Network::advance(SimTime dt) {
     cap_rx[i] = std::max(0.0, raw_capacity - static_cast<double>(nodes_[i].background_rx));
   }
 
+  // Per-flow budget for this quantum (infinite when no cap is configured, so
+  // min() with it leaves the increments untouched).
+  const double flow_cap = flow_payload_rate_ * dt_sec;
+
   // Progressive-filling max–min fair allocation over active flows.
   struct Active {
     FlowId id;
     NodeId src, dst;
     double remaining;  // backlog still unallocated
     double alloc = 0.0;
+    double cap_left = 0.0;  // per-flow budget still unallocated
   };
   std::vector<Active> active;
   active.reserve(flows_.size());
   for (auto& [id, f] : flows_) {
-    if (f.backlog > 0) active.push_back({id, f.src, f.dst, static_cast<double>(f.backlog)});
+    if (f.backlog > 0) {
+      active.push_back(
+          {id, f.src, f.dst, static_cast<double>(f.backlog), 0.0, flow_cap});
+    }
   }
   // Deterministic order (unordered_map iteration order is not portable).
   std::sort(active.begin(), active.end(),
@@ -114,6 +130,7 @@ void Network::advance(SimTime dt) {
     for (std::size_t i = 0; i < active.size(); ++i) {
       if (frozen[i]) continue;
       inc = std::min(inc, active[i].remaining);
+      inc = std::min(inc, active[i].cap_left);
       inc = std::min(inc, cap_tx[active[i].src] / users_tx[active[i].src]);
       inc = std::min(inc, cap_rx[active[i].dst] / users_rx[active[i].dst]);
     }
@@ -123,14 +140,16 @@ void Network::advance(SimTime dt) {
       if (frozen[i]) continue;
       active[i].alloc += inc;
       active[i].remaining -= inc;
+      active[i].cap_left -= inc;  // inf - inc == inf for uncapped flows
       cap_tx[active[i].src] -= inc;
       cap_rx[active[i].dst] -= inc;
     }
-    // Freeze flows that hit their backlog or a saturated resource.
+    // Freeze flows that hit their backlog, their per-flow budget, or a
+    // saturated resource.
     for (std::size_t i = 0; i < active.size(); ++i) {
       if (frozen[i]) continue;
-      if (active[i].remaining <= kEps || cap_tx[active[i].src] <= kEps ||
-          cap_rx[active[i].dst] <= kEps) {
+      if (active[i].remaining <= kEps || active[i].cap_left <= kEps ||
+          cap_tx[active[i].src] <= kEps || cap_rx[active[i].dst] <= kEps) {
         frozen[i] = true;
         --live;
       }

@@ -37,6 +37,12 @@ struct NetworkConfig {
   SimTime base_rtt = 200;          ///< Switch round-trip for a minimal frame, µs.
   double protocol_efficiency = 0.94;  ///< TCP/IP+Ethernet framing overhead factor.
   double max_queue_factor = 200.0;  ///< Cap on the congestion queueing multiplier.
+  /// Per-flow rate ceiling in bits/sec; 0 means uncapped (NIC rate only).
+  /// Models a single TCP connection's throughput limit (window/cwnd bound),
+  /// which is what makes N parallel migration streams faster than one on a
+  /// fat pipe — with no per-flow cap, max–min filling already saturates the
+  /// NIC pair with a single flow.
+  double flow_max_bits_per_sec = 0.0;
 };
 
 struct NodeStats {
@@ -54,6 +60,12 @@ class Network {
 
   /// Usable payload bytes per second on one NIC direction.
   double link_bytes_per_sec() const { return payload_rate_; }
+
+  /// Usable payload bytes per second a single flow may carry. Equals
+  /// link_bytes_per_sec() when no per-flow cap is configured.
+  double flow_bytes_per_sec() const {
+    return flow_payload_rate_ < payload_rate_ ? flow_payload_rate_ : payload_rate_;
+  }
 
   /// Opens a bulk stream from `src` to `dst`. `on_delivered(bytes)` is called
   /// as bytes reach the receiver. Streams start with an empty backlog; feed
@@ -112,7 +124,8 @@ class Network {
   const Flow& flow_ref(FlowId id) const;
 
   NetworkConfig config_;
-  double payload_rate_;  ///< bytes/sec usable per direction.
+  double payload_rate_;       ///< bytes/sec usable per direction.
+  double flow_payload_rate_;  ///< bytes/sec usable per flow (inf = uncapped).
   std::vector<Node> nodes_;
   FlowId next_flow_id_ = 1;
   std::unordered_map<FlowId, Flow> flows_;

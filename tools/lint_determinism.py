@@ -19,10 +19,12 @@ contract:
                structs are aggregate-built and memcmp'd/serialized, so an
                unwritten member leaks indeterminate bytes.
 
-src/trace/ gets a stricter profile on top of the above: trace exports must be
-byte-identical across runs, job counts and audit modes, so the module may not
-even *include* <chrono> or <random>, read the environment (getenv), or use
-unordered containers at all (export order must never depend on hashing).
+src/trace/ and the multi-stream wire module (src/migration/wire.* and
+stream_group.*) get a stricter profile on top of the above: trace exports and
+the wire data path must be byte-identical across runs, job counts and audit
+modes, so these modules may not even *include* <chrono> or <random>, read the
+environment (getenv), or use unordered containers at all (delivery and export
+order must never depend on hashing).
 
 Scope: src/, bench/ and examples/ (tests may use wall clocks for timeouts).
 Exceptions go in tools/lint_determinism_allow.txt, one per line:
@@ -65,25 +67,38 @@ AMBIENT_RNG = [
 # contains a '*' before the ',' or '>'.
 PTR_KEYED = re.compile(r"\bunordered_(?:map|set)\s*<[^,<>]*\*")
 
-# Stricter rules for src/trace/: the recorder and exporter are the instrument
-# every other determinism check reads through, so they get zero tolerance.
-TRACE_STRICT = [
-    (re.compile(r"#\s*include\s*<chrono>"),
-     "trace module: <chrono> banned (timestamps come from the simulated "
-     "clock hook only)"),
-    (re.compile(r"#\s*include\s*<random>"),
-     "trace module: <random> banned (no randomness in the trace path)"),
-    (re.compile(r"\bgetenv\s*\("),
-     "trace module: getenv banned (recording is enabled by API, not ambient "
-     "environment)"),
-    (re.compile(r"\bunordered_(?:map|set)\b"),
-     "trace module: unordered containers banned (export order must not "
-     "depend on hashing)"),
-]
+# Stricter rules for the zero-tolerance modules. src/trace/ is the instrument
+# every other determinism check reads through; the wire module (WireStream +
+# StreamGroup) is the migration data path whose delivery order the golden
+# metrics, golden traces and the multi-stream fences all pin byte-for-byte.
+def strict_rules(module):
+    return [
+        (re.compile(r"#\s*include\s*<chrono>"),
+         f"{module} module: <chrono> banned (timestamps come from the "
+         "simulated clock only)"),
+        (re.compile(r"#\s*include\s*<random>"),
+         f"{module} module: <random> banned (no randomness in this path)"),
+        (re.compile(r"\bgetenv\s*\("),
+         f"{module} module: getenv banned (behaviour is configured by API, "
+         "not ambient environment)"),
+        (re.compile(r"\bunordered_(?:map|set)\b"),
+         f"{module} module: unordered containers banned (ordering must not "
+         "depend on hashing)"),
+    ]
+
+
+TRACE_STRICT = strict_rules("trace")
+WIRE_STRICT = strict_rules("wire")
 
 
 def in_trace_module(relpath):
     return relpath.startswith("src" + os.sep + "trace" + os.sep)
+
+
+def in_wire_module(relpath):
+    base = os.path.basename(relpath)
+    return (os.sep + "migration" + os.sep in relpath
+            and (base.startswith("wire") or base.startswith("stream_group")))
 
 STRUCT_NAME = re.compile(
     r"^\s*struct\s+(\w*(?:Metrics|Stats|Config|Params|Message|Header))\b[^;]*$")
@@ -174,6 +189,10 @@ def scan_file(relpath, allow):
                    "allocator-dependent)")
         if in_trace_module(relpath):
             for pat, msg in TRACE_STRICT:
+                if pat.search(line):
+                    report(msg)
+        if in_wire_module(relpath):
+            for pat, msg in WIRE_STRICT:
                 if pat.search(line):
                     report(msg)
 
