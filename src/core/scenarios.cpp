@@ -237,6 +237,8 @@ Fleet make_fleet(const FleetOptions& options) {
 
   TestbedConfig cfg;
   cfg.cluster.seed = options.seed;
+  cfg.cluster.lanes = options.lanes;
+  cfg.vmd_server_capacity = options.vmd_server_capacity;
   for (std::uint32_t i = 0; i < options.host_count; ++i) {
     host::HostConfig host_cfg = named_host("host" + std::to_string(i));
     host_cfg.ram = i == 0 ? options.source_ram : options.dest_ram;
@@ -255,7 +257,9 @@ Fleet make_fleet(const FleetOptions& options) {
     // Orchestrated VMs always carry a per-VM VMD namespace: the reservation
     // controller reads its iostat window, whatever engine later moves them.
     spec.swap = SwapBinding::kPerVmDevice;
-    spec.host = 0;  // consolidated start: everyone on host 0
+    // Consolidated start (everyone on host 0) unless the scaling benches ask
+    // for an even spread.
+    spec.host = options.spread_initial ? i % options.host_count : 0;
     VmHandle& h = bed.create_vm(spec);
     scenario.handles.push_back(&h);
 
@@ -288,8 +292,13 @@ void Fleet::load_all() {
   for (std::uint32_t i = 0; i < options.hot_vms; ++i) {
     workload::YcsbWorkload* y = ycsbs[i];
     Bytes target = options.hot_active;
-    bed->cluster().simulation().schedule_at(
-        options.hot_at, [y, target] { y->set_active_bytes(target); });
+    // Host-bound: the hotspot mutates the workload, so it must run on the
+    // lane that owns the VM's host (a plain schedule_at would race with that
+    // host's phase work under AGILE_SIM_LANES > 1). The VM cannot have moved
+    // before `hot_at` — the hotspot itself is what first creates pressure.
+    std::size_t home = options.spread_initial ? i % options.host_count : 0;
+    bed->cluster().schedule_on_host(
+        home, options.hot_at, [y, target] { y->set_active_bytes(target); });
   }
 }
 

@@ -181,6 +181,16 @@ struct FleetOptions {
   wss::WssConfig wss = fleet_wss_defaults();
   std::uint32_t per_link_cap = 2;
   std::uint64_t seed = 42;
+  /// Scaling benches: start VM i on host i % host_count instead of
+  /// consolidating everyone on host 0, so per-host phase work is spread and
+  /// lane scaling is visible. The default keeps the consolidated hotspot bed.
+  bool spread_initial = false;
+  /// ClusterConfig::lanes passthrough (0: AGILE_SIM_LANES env / 1).
+  std::uint32_t lanes = 0;
+  /// VMD capacity of the single intermediate host. Scaling benches raise it
+  /// with the fleet so the lane planner's near-full safety collapse (see
+  /// Testbed::plan_lanes) never triggers.
+  Bytes vmd_server_capacity = 64_GiB;
 };
 
 struct Fleet {

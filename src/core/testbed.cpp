@@ -1,5 +1,7 @@
 #include "core/testbed.hpp"
 
+#include <algorithm>
+
 #include "trace/trace.hpp"
 
 namespace agile::core {
@@ -42,6 +44,9 @@ Testbed::Testbed(TestbedConfig config)
       for (auto& server : vmd_servers_) server->advance(dt);
     });
   }
+  cluster_.set_lane_planner([this](std::size_t host_count, std::size_t lanes) {
+    return plan_lanes(host_count, lanes);
+  });
 }
 
 host::Host* Testbed::host_of(const vm::VirtualMachine* machine) {
@@ -124,6 +129,83 @@ void Testbed::attach_workload(VmHandle& handle,
   where->attach_vm(handle.machine, handle.load);
 }
 
+std::vector<std::uint32_t> Testbed::plan_lanes(std::size_t host_count,
+                                               std::size_t lanes) {
+  std::vector<std::uint32_t> plan(host_count, 0);
+  if (lanes <= 1 || host_count == 0) return plan;
+
+  // VMD placement is order-dependent near capacity (stale-cache retries,
+  // live-availability fallback) and whenever a disk tier exists (spill
+  // decisions, SSD queue state). Stores are otherwise commutative counter
+  // bumps. One quantum's cluster-wide store volume is far below the margin,
+  // so above it every concurrent store lands on the memory tier regardless
+  // of interleaving; below it, collapse to one lane (sequential semantics).
+  constexpr Bytes kVmdSafetyMargin = 1_GiB;
+  for (const auto& server : vmd_servers_) {
+    if (server->disk_capacity() > 0 ||
+        server->free_bytes() < kVmdSafetyMargin) {
+      return plan;  // every host on lane 0
+    }
+  }
+
+  // Union-find: an in-flight migration couples its source and destination —
+  // destination demand faults reach back into source-side engine state,
+  // memory and swap devices, so both hosts must share a lane.
+  std::vector<std::size_t> parent(host_count);
+  for (std::size_t i = 0; i < host_count; ++i) parent[i] = i;
+  auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto host_index = [this, host_count](const host::Host* h) -> std::size_t {
+    for (std::size_t i = 0; i < host_count && i < hosts_.size(); ++i) {
+      if (hosts_[i] == h) return i;
+    }
+    return host_count;  // not found (host added after plan size was fixed)
+  };
+  for (migration::MigrationManager* m : live_migrations_) {
+    if (!m->started() || m->completed()) continue;
+    std::size_t si = host_index(m->source_host());
+    std::size_t di = host_index(m->dest_host());
+    if (si >= host_count || di >= host_count) continue;
+    std::size_t rs = find(si), rd = find(di);
+    // Union by smaller index so a group's root is its lowest member — group
+    // enumeration order below is then deterministic.
+    if (rs != rd) parent[std::max(rs, rd)] = std::min(rs, rd);
+  }
+
+  // Greedy balance: groups in root-index order onto the least-loaded lane.
+  std::vector<std::size_t> group_size(host_count, 0);
+  for (std::size_t i = 0; i < host_count; ++i) ++group_size[find(i)];
+  std::vector<std::size_t> lane_load(lanes, 0);
+  std::vector<std::uint32_t> group_lane(host_count, 0);
+  for (std::size_t i = 0; i < host_count; ++i) {
+    if (find(i) != i) continue;  // not a root
+    std::size_t best = 0;
+    for (std::size_t l = 1; l < lanes; ++l) {
+      if (lane_load[l] < lane_load[best]) best = l;
+    }
+    group_lane[i] = static_cast<std::uint32_t>(best);
+    lane_load[best] += group_size[i];
+  }
+  for (std::size_t i = 0; i < host_count; ++i) plan[i] = group_lane[find(i)];
+  return plan;
+}
+
+std::unique_ptr<migration::MigrationManager> Testbed::register_migration(
+    std::unique_ptr<migration::MigrationManager> migration) {
+  live_migrations_.push_back(migration.get());
+  migration->set_on_destroy([this](migration::MigrationManager* m) {
+    live_migrations_.erase(
+        std::remove(live_migrations_.begin(), live_migrations_.end(), m),
+        live_migrations_.end());
+  });
+  return migration;
+}
+
 std::unique_ptr<migration::MigrationManager> Testbed::make_migration_to(
     Technique technique, VmHandle& handle, host::Host* destination,
     Bytes dest_reservation, migration::MigrationConfig config) {
@@ -142,12 +224,12 @@ std::unique_ptr<migration::MigrationManager> Testbed::make_migration_to(
   switch (technique) {
     case Technique::kPrecopy:
       params.dest_swap = destination->swap_partition();
-      return std::make_unique<migration::PrecopyMigration>(&cluster_, params,
-                                                           config);
+      return register_migration(std::make_unique<migration::PrecopyMigration>(
+          &cluster_, params, config));
     case Technique::kPostcopy:
       params.dest_swap = destination->swap_partition();
-      return std::make_unique<migration::PostcopyMigration>(&cluster_, params,
-                                                            config);
+      return register_migration(std::make_unique<migration::PostcopyMigration>(
+          &cluster_, params, config));
     case Technique::kAgile: {
       AGILE_CHECK_MSG(handle.per_vm_swap != nullptr,
                       "Agile migration needs a per-VM swap device");
@@ -160,7 +242,7 @@ std::unique_ptr<migration::MigrationManager> Testbed::make_migration_to(
       net::NodeId dest_node = destination->node();
       migration->set_on_switchover(
           [device, dest_node] { device->attach_to(dest_node); });
-      return migration;
+      return register_migration(std::move(migration));
     }
     case Technique::kScatterGather: {
       AGILE_CHECK_MSG(handle.per_vm_swap != nullptr,
@@ -172,7 +254,7 @@ std::unique_ptr<migration::MigrationManager> Testbed::make_migration_to(
       net::NodeId dest_node = destination->node();
       migration->set_on_switchover(
           [device, dest_node] { device->attach_to(dest_node); });
-      return migration;
+      return register_migration(std::move(migration));
     }
   }
   AGILE_CHECK_MSG(false, "unknown technique");

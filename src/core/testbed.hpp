@@ -124,7 +124,22 @@ class Testbed {
   /// Shorthand used everywhere in the benches.
   Rng make_rng(std::string_view tag) { return cluster_.make_rng(tag); }
 
+  /// Deterministic host→lane affinity plan for parallel event lanes (see
+  /// sim/lanes.hpp). Hosts coupled by an in-flight migration (demand faults
+  /// reach back into source-side state) are unioned onto one lane; when any
+  /// VMD server runs a disk tier or is within the safety margin of full —
+  /// where placement would become order-dependent — the whole fleet
+  /// collapses onto lane 0 (sequential semantics). Installed on the cluster
+  /// at construction; public for tests.
+  std::vector<std::uint32_t> plan_lanes(std::size_t host_count,
+                                        std::size_t lanes);
+
  private:
+  /// Registers a migration in the lane-affinity registry; the manager
+  /// deregisters itself on destruction (it must not outlive the Testbed).
+  std::unique_ptr<migration::MigrationManager> register_migration(
+      std::unique_ptr<migration::MigrationManager> migration);
+
   TestbedConfig config_;
   host::Cluster cluster_;
   std::vector<host::Host*> hosts_;
@@ -134,6 +149,8 @@ class Testbed {
   std::vector<std::unique_ptr<vmd::VmdSwapDevice>> vmd_devices_;
   std::vector<std::unique_ptr<VmHandle>> vms_;
   std::vector<std::shared_ptr<sim::PeriodicTask>> heartbeats_;
+  /// Live (constructed, not yet destroyed) migrations for plan_lanes.
+  std::vector<migration::MigrationManager*> live_migrations_;
 };
 
 /// Samples a workload's throughput (ops/s) once a second into a TimeSeries —

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "host/host.hpp"
+#include "sim/lanes.hpp"
 #include "sim/simulation.hpp"
+#include "util/thread_pool.hpp"
 #include "vm/virtual_machine.hpp"
 #include "workload/workload.hpp"
 
@@ -26,6 +28,12 @@ struct ClusterConfig {
   SimTime quantum = msec(100);
   std::uint64_t seed = 42;
   net::NetworkConfig network;
+  /// Parallel event lanes for per-host quantum phases (workload execution,
+  /// maintenance) and host-bound one-shots. 0 reads AGILE_SIM_LANES from the
+  /// environment (default 1); 1 keeps today's sequential loop byte-for-byte.
+  /// Output is byte-identical at any lane count — see sim/lanes.hpp for the
+  /// determinism contract and DESIGN.md for why it holds here.
+  std::uint32_t lanes = 0;
 };
 
 class Cluster {
@@ -39,6 +47,33 @@ class Cluster {
   sim::Simulation& simulation() { return sim_; }
   net::Network& network() { return net_; }
   const ClusterConfig& config() const { return config_; }
+
+  /// Resolved lane count (config override or AGILE_SIM_LANES, floored at 1).
+  std::uint32_t lane_count() const { return lane_count_; }
+  /// Lane coordinator, or null when running sequentially (lanes == 1).
+  sim::LaneCoordinator* lanes() { return lanes_.get(); }
+
+  /// One-shot bound to a host: with lanes it runs on the host's lane (cross
+  /// -lane sends ride the mailbox), sequentially on the global heap. Either
+  /// way it executes *before* any coordinator event (quantum, probe) sharing
+  /// its timestamp — schedule host-bound work accordingly.
+  void schedule_on_host(std::size_t host, SimTime t, sim::EventFn fn);
+
+  /// Deterministic host→lane affinity plan, recomputed at each quantum.
+  /// The Testbed installs one that keeps migration source/dest pairs on a
+  /// shared lane; without a planner hosts are spread round-robin.
+  using LanePlanner =
+      std::function<std::vector<std::uint32_t>(std::size_t host_count,
+                                               std::size_t lanes)>;
+  void set_lane_planner(LanePlanner planner) {
+    lane_planner_ = std::move(planner);
+  }
+
+  /// Events executed across the coordinator heap and all lanes.
+  std::uint64_t events_executed_total() const {
+    return sim_.events_executed() +
+           (lanes_ ? lanes_->events_executed() : 0);
+  }
 
   /// Quantum index (the LRU clock ticks once per quantum).
   std::uint32_t tick_index() const { return tick_index_; }
@@ -79,6 +114,8 @@ class Cluster {
 
  private:
   void quantum(SimTime now);
+  /// Fans a per-host phase across the lanes and barriers at `now`.
+  void parallel_phase(SimTime now, const std::function<void(Host&)>& phase);
 
   struct HookEntry {
     std::uint64_t id;
@@ -88,6 +125,10 @@ class Cluster {
   ClusterConfig config_;
   sim::Simulation sim_;
   net::Network net_;
+  std::uint32_t lane_count_ = 1;
+  std::unique_ptr<util::ThreadPool> lane_pool_;
+  std::unique_ptr<sim::LaneCoordinator> lanes_;
+  LanePlanner lane_planner_;
   std::uint32_t tick_index_ = 0;
   std::uint64_t next_hook_id_ = 1;
   std::vector<std::unique_ptr<Host>> hosts_;

@@ -73,6 +73,7 @@ bool MigrationManager::zero_elidable(PageIndex p) const {
 }
 
 MigrationManager::~MigrationManager() {
+  if (on_destroy_) on_destroy_(this);
   if (hook_id_ != 0) cluster_->remove_hook(hook_id_);
 }
 

@@ -119,6 +119,13 @@ class MigrationManager {
   /// Fires once when the migration completes.
   void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
 
+  /// Fires from the destructor (before members tear down). The Testbed uses
+  /// this to deregister the migration from its lane-affinity registry; the
+  /// registrar must outlive the manager.
+  void set_on_destroy(std::function<void(MigrationManager*)> fn) {
+    on_destroy_ = std::move(fn);
+  }
+
   virtual const char* technique() const = 0;
 
   vm::VirtualMachine* machine() const { return params_.machine; }
@@ -182,6 +189,7 @@ class MigrationManager {
   SimTime suspend_time_ = -1;
   std::uint64_t hook_id_ = 0;
   std::function<void()> on_complete_;
+  std::function<void(MigrationManager*)> on_destroy_;
   Bytes wire_page_bytes_ = 0;     ///< Cached: header + compressed page body.
   SimTime page_send_cost_ = 0;    ///< Cached: copy + compression µs per page.
 };

@@ -65,8 +65,11 @@ void Network::close_flow(FlowId flow) {
 
 void Network::consume_background(NodeId src, NodeId dst, Bytes bytes) {
   AGILE_CHECK(src < nodes_.size() && dst < nodes_.size());
-  nodes_[src].background_tx += bytes;
-  nodes_[dst].background_rx += bytes;
+  // Relaxed adds: callable concurrently from parallel event lanes (workload
+  // client traffic, demand-fault RPCs); advance() reads the sums only after
+  // the lane barrier.
+  nodes_[src].background_tx.add(bytes);
+  nodes_[dst].background_rx.add(bytes);
 }
 
 SimTime Network::rpc_latency(NodeId client, NodeId server, Bytes payload) const {

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/relaxed_cell.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
 
@@ -113,8 +114,12 @@ class Network {
 
   struct Node {
     std::string name;
-    Bytes background_tx = 0;  ///< This quantum, reset in advance().
-    Bytes background_rx = 0;
+    /// Background bytes this quantum, reset in advance(). Relaxed cells:
+    /// parallel event lanes accumulate client traffic and demand-RPC bytes
+    /// concurrently — a commutative sum, so the post-barrier value (the only
+    /// one advance() reads) is interleaving-independent.
+    util::RelaxedCell<Bytes> background_tx;
+    util::RelaxedCell<Bytes> background_rx;
     double util_tx = 0.0;  ///< Last quantum.
     double util_rx = 0.0;
     NodeStats stats;

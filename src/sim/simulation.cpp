@@ -25,10 +25,15 @@ EventId Simulation::schedule_at(SimTime t, EventFn fn) {
 
 bool Simulation::cancel(EventId id) {
   if (id == 0 || id >= next_id_) return false;
-  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
-    return false;
-  }
-  cancelled_.push_back(id);
+  auto it = std::find_if(heap_.begin(), heap_.end(),
+                         [id](const Event& ev) { return ev.id == id; });
+  // Not queued (already ran, already popped as a tombstone) or already
+  // cancelled: nothing to do. The old id-list bookkeeping returned true for
+  // events that had long since executed and leaked their ids forever,
+  // corrupting pending_events(); marking in place makes cancel exact.
+  if (it == heap_.end() || it->cancelled) return false;
+  it->cancelled = true;
+  it->fn = nullptr;  // Release the closure's captures eagerly.
   ++cancelled_pending_;
   return true;
 }
@@ -48,13 +53,15 @@ std::shared_ptr<PeriodicTask> Simulation::schedule_periodic(
 }
 
 void Simulation::purge_cancelled_top() {
-  while (!heap_.empty()) {
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+  while (!heap_.empty() && heap_.front().cancelled) {
     --cancelled_pending_;
     pop_event();
   }
+}
+
+SimTime Simulation::next_event_time() {
+  purge_cancelled_top();
+  return heap_.empty() ? -1 : heap_.front().time;
 }
 
 void Simulation::audit_bind_thread() {

@@ -113,6 +113,23 @@ void TraceRecorder::set_entity_name(std::uint64_t id, const std::string& name) {
   entity_names_[id] = name;
 }
 
+void TraceRecorder::append_events(const TraceRecorder& src, std::size_t begin,
+                                  std::size_t end) {
+  AGILE_CHECK(begin <= end && end <= src.events_.size());
+  events_.insert(events_.end(),
+                 src.events_.begin() + static_cast<std::ptrdiff_t>(begin),
+                 src.events_.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+void TraceRecorder::merge_entity_names(const TraceRecorder& src) {
+  for (const auto& [id, name] : src.entity_names_) entity_names_[id] = name;
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  entity_names_.clear();
+}
+
 std::string TraceRecorder::to_chrome_json() const {
   // Entity id -> Chrome pid (id+1: pid 0 renders oddly), component -> tid
   // interned by *content* in first-appearance order so exports stay

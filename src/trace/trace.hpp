@@ -65,6 +65,16 @@ class TraceRecorder {
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t event_count() const { return events_.size(); }
 
+  /// Appends `src`'s events [begin, end) verbatim. Used by the lane
+  /// coordinator to merge per-lane window buffers back into the main
+  /// recorder in deterministic (time, channel, seq) segment order.
+  void append_events(const TraceRecorder& src, std::size_t begin,
+                     std::size_t end);
+  /// Copies `src`'s entity names (last write wins, ordered by id).
+  void merge_entity_names(const TraceRecorder& src);
+  /// Drops all events and entity names (per-window buffer reuse).
+  void clear();
+
   /// Chrome trace_event JSON ({"traceEvents":[...]}). Deterministic: event
   /// order is record order, tids are interned in first-appearance order, and
   /// metadata is emitted from ordered maps.

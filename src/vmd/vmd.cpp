@@ -12,11 +12,11 @@ VmdServer::VmdServer(std::string name, net::NodeId node, VmdServerConfig config)
 
 std::optional<VmdTier> VmdServer::store_page() {
   if (free_bytes() >= kPageSize) {
-    ++memory_pages_;
+    memory_pages_.add(1);
     return VmdTier::kMemory;
   }
   if (disk_free_bytes() >= kPageSize && disk_ != nullptr) {
-    ++disk_pages_;
+    disk_pages_.add(1);
     disk_->submit_write(kPageSize);  // write-behind to the tier device
     return VmdTier::kDisk;
   }
@@ -26,10 +26,10 @@ std::optional<VmdTier> VmdServer::store_page() {
 void VmdServer::drop_page(VmdTier tier) {
   if (tier == VmdTier::kMemory) {
     AGILE_CHECK(memory_pages_ > 0);
-    --memory_pages_;
+    memory_pages_.sub(1);
   } else {
     AGILE_CHECK(disk_pages_ > 0);
-    --disk_pages_;
+    disk_pages_.sub(1);
   }
 }
 

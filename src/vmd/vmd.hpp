@@ -26,6 +26,7 @@
 
 #include "net/network.hpp"
 #include "storage/device.hpp"
+#include "util/relaxed_cell.hpp"
 #include "util/status.hpp"
 #include "util/units.hpp"
 
@@ -84,8 +85,12 @@ class VmdServer {
   std::string name_;
   net::NodeId node_;
   VmdServerConfig config_;
-  std::uint64_t memory_pages_ = 0;
-  std::uint64_t disk_pages_ = 0;
+  /// Relaxed cells: VMD-bound VMs on different event lanes store/drop frames
+  /// concurrently. The counts are commutative sums, and the lane planner
+  /// serializes the fleet whenever placement would actually depend on them
+  /// (disk tier configured, or memory within the safety margin of full).
+  util::RelaxedCell<std::uint64_t> memory_pages_;
+  util::RelaxedCell<std::uint64_t> disk_pages_;
   std::unique_ptr<storage::SsdModel> disk_;
 };
 

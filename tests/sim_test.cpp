@@ -90,6 +90,51 @@ TEST(Simulation, CancelledEventDoesNotBlockRunUntil) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Simulation, CancelAfterExecutionReturnsFalse) {
+  Simulation s;
+  int fired = 0;
+  EventId id = s.schedule_at(100, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  // The id is gone from the heap; cancelling it must not claim success (the
+  // old bookkeeping leaked such ids and corrupted pending_events()).
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulation, CancelUnknownIdReturnsFalse) {
+  Simulation s;
+  EXPECT_FALSE(s.cancel(9999));
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulation, PendingEventsExactUnderCancellation) {
+  Simulation s;
+  EventId a = s.schedule_at(100, [] {});
+  s.schedule_at(200, [] {});
+  EventId c = s.schedule_at(300, [] {});
+  EXPECT_EQ(s.pending_events(), 3u);
+  EXPECT_TRUE(s.cancel(a));
+  EXPECT_EQ(s.pending_events(), 2u);
+  EXPECT_TRUE(s.cancel(c));
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_FALSE(s.cancel(c));  // double cancel: unchanged
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(s.now(), 200);  // the cancelled tail event never advanced time
+}
+
+TEST(Simulation, NextEventTimeSkipsCancelledHead) {
+  Simulation s;
+  EventId a = s.schedule_at(100, [] {});
+  s.schedule_at(250, [] {});
+  EXPECT_EQ(s.next_event_time(), 100);
+  s.cancel(a);
+  EXPECT_EQ(s.next_event_time(), 250);
+  s.run();
+  EXPECT_EQ(s.next_event_time(), -1);
+}
+
 TEST(Simulation, StopHaltsRun) {
   Simulation s;
   int fired = 0;

@@ -19,12 +19,14 @@ contract:
                structs are aggregate-built and memcmp'd/serialized, so an
                unwritten member leaks indeterminate bytes.
 
-src/trace/ and the multi-stream wire module (src/migration/wire.* and
-stream_group.*) get a stricter profile on top of the above: trace exports and
-the wire data path must be byte-identical across runs, job counts and audit
-modes, so these modules may not even *include* <chrono> or <random>, read the
-environment (getenv), or use unordered containers at all (delivery and export
-order must never depend on hashing).
+src/trace/, src/sim/ and the multi-stream wire module (src/migration/wire.*
+and stream_group.*) get a stricter profile on top of the above: trace exports,
+the event core (heap + sharded lanes — execution order must be identical at
+every lane count) and the wire data path must be byte-identical across runs,
+job counts and audit modes, so these modules may not even *include* <chrono>
+or <random>, read the environment (getenv; the AGILE_SIM_LANES knob is read
+by host/cluster, outside the core), or use unordered containers at all
+(delivery and export order must never depend on hashing).
 
 Scope: src/, bench/ and examples/ (tests may use wall clocks for timeouts).
 Exceptions go in tools/lint_determinism_allow.txt, one per line:
@@ -89,10 +91,18 @@ def strict_rules(module):
 
 TRACE_STRICT = strict_rules("trace")
 WIRE_STRICT = strict_rules("wire")
+# The event core: the heap and the sharded lane coordinator decide execution
+# order for everything else, and that order must be identical at every lane
+# count (AGILE_SIM_LANES itself is resolved in host/cluster, not here).
+SIM_STRICT = strict_rules("sim")
 
 
 def in_trace_module(relpath):
     return relpath.startswith("src" + os.sep + "trace" + os.sep)
+
+
+def in_sim_module(relpath):
+    return relpath.startswith("src" + os.sep + "sim" + os.sep)
 
 
 def in_wire_module(relpath):
@@ -189,6 +199,10 @@ def scan_file(relpath, allow):
                    "allocator-dependent)")
         if in_trace_module(relpath):
             for pat, msg in TRACE_STRICT:
+                if pat.search(line):
+                    report(msg)
+        if in_sim_module(relpath):
+            for pat, msg in SIM_STRICT:
                 if pat.search(line):
                     report(msg)
         if in_wire_module(relpath):
