@@ -71,6 +71,11 @@ inline const std::string& trace_stem() {
 }
 
 /// Process-wide sweep accounting, fed by the runners and printed by `footer`.
+/// The counters are commutative sums bumped from sweep workers, hence
+/// atomics (relaxed order is enough: `footer` reads them after the sweep's
+/// futures have joined). `wall_start` is deliberately plain — it is written
+/// by `banner` before the pool fans out and read by `footer` after it joins,
+/// both on the main thread.
 struct SweepStats {
   std::atomic<std::uint64_t> runs_executed{0};
   std::atomic<std::uint64_t> runs_cached{0};

@@ -11,6 +11,14 @@
 // With one job (AGILE_BENCH_JOBS=1) no pool is created and points run
 // inline on the calling thread — the exact serial behaviour, useful both as
 // the speedup baseline and for debugging.
+//
+// Concurrency contract: ParallelSweep itself holds no shared mutable state
+// (results travel through futures; `map` blocks until every point joined),
+// so there is nothing to lock. Sweep tasks are exempt from the lane rules in
+// tools/lane_lint.py because each task owns its entire Simulation — the lane
+// rules police tasks that *share* one simulation, i.e. the lane pool in
+// src/sim (and bench/ is outside the lint's scan scope for exactly this
+// reason).
 #pragma once
 
 #include <utility>

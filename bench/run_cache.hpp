@@ -21,7 +21,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -29,6 +28,7 @@
 #include "bench_common.hpp"
 #include "migration/migration.hpp"
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace agile::bench {
 
@@ -126,26 +126,42 @@ inline void store_cached(const std::string& key, const CachedRun& r) {
   }
 }
 
+/// In-process memoization table behind `cached_run`. A named struct (rather
+/// than two loose function-local statics) so the map's guard is declared in
+/// the type: the thread-safety analysis rejects any access to `by_key`
+/// outside a MutexLock on `mu`.
+struct InflightRuns {
+  util::Mutex mu;
+  std::unordered_map<std::string, std::shared_future<CachedRun>> by_key
+      AGILE_GUARDED_BY(mu);
+};
+
+inline InflightRuns& inflight_runs() {
+  static InflightRuns runs;
+  return runs;
+}
+
 /// Runs `compute` unless a cached result for `key` exists. Concurrency-safe:
 /// the first caller per key computes (or reads the file); later callers —
 /// even on other pool workers — block on that result instead of re-running.
+/// A `compute` that throws propagates to every waiter of this attempt, but
+/// the key is retired from the in-flight table so a later call retries
+/// instead of rethrowing the stale exception forever.
 template <typename Fn>
 CachedRun cached_run(const std::string& key, Fn&& compute) {
-  static std::mutex mu;
-  static std::unordered_map<std::string, std::shared_future<CachedRun>> inflight;
-
+  InflightRuns& runs = inflight_runs();
   std::promise<CachedRun> promise;
   std::shared_future<CachedRun> shared;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = inflight.find(key);
-    if (it != inflight.end()) {
+    util::MutexLock lock(runs.mu);
+    auto it = runs.by_key.find(key);
+    if (it != runs.by_key.end()) {
       shared = it->second;
     } else {
       owner = true;
       shared = promise.get_future().share();
-      inflight.emplace(key, shared);
+      runs.by_key.emplace(key, shared);
     }
   }
   if (!owner) {
@@ -168,6 +184,12 @@ CachedRun cached_run(const std::string& key, Fn&& compute) {
     return r;
   } catch (...) {
     promise.set_exception(std::current_exception());
+    {
+      // Waiters already holding the shared_future see this attempt's
+      // exception; dropping the entry lets the *next* cached_run(key) retry.
+      util::MutexLock lock(runs.mu);
+      runs.by_key.erase(key);
+    }
     throw;
   }
 }

@@ -117,7 +117,9 @@ class Network {
     /// Background bytes this quantum, reset in advance(). Relaxed cells:
     /// parallel event lanes accumulate client traffic and demand-RPC bytes
     /// concurrently — a commutative sum, so the post-barrier value (the only
-    /// one advance() reads) is interleaving-independent.
+    /// one advance() reads) is interleaving-independent. These two members
+    /// are in tools/lane_lint.py's shared-counter registry (LL004): the lint
+    /// fails if either is ever re-declared as a plain integer.
     util::RelaxedCell<Bytes> background_tx;
     util::RelaxedCell<Bytes> background_rx;
     double util_tx = 0.0;  ///< Last quantum.

@@ -61,6 +61,10 @@ void LaneCoordinator::set_plan(const std::vector<std::uint32_t>& lane_of_channel
 void LaneCoordinator::set_thread_hooks(
     std::function<void(std::size_t)> enter,
     std::function<void(std::size_t)> exit) {
+  // Lane threads invoke the hooks unsynchronized; swapping them mid-window
+  // would race every running lane.
+  AGILE_CHECK_MSG(window_horizon_ < 0,
+                  "set_thread_hooks() inside a window races the lanes");
   enter_hook_ = std::move(enter);
   exit_hook_ = std::move(exit);
 }
@@ -308,6 +312,10 @@ void LaneCoordinator::advance_to(SimTime horizon) {
 }
 
 SimTime LaneCoordinator::next_event_time() const {
+  // Between-windows only: during a window the heaps belong to the lane
+  // threads, and this coordinator-side sweep would race their pops.
+  AGILE_CHECK_MSG(window_horizon_ < 0,
+                  "next_event_time() inside a window races the lanes");
   SimTime best = -1;
   for (const Channel& ch : channels_) {
     if (ch.heap.empty()) continue;
@@ -317,6 +325,8 @@ SimTime LaneCoordinator::next_event_time() const {
 }
 
 std::size_t LaneCoordinator::pending_events() const {
+  AGILE_CHECK_MSG(window_horizon_ < 0,
+                  "pending_events() inside a window races the lanes");
   std::size_t n = 0;
   for (const Channel& ch : channels_) n += ch.heap.size();
   return n;

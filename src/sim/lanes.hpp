@@ -86,7 +86,12 @@ class LaneCoordinator {
   void advance_to(SimTime horizon);
 
   /// Earliest pending lane event time over all channels, or -1 when idle.
+  /// Only callable between windows (checked): during a window the channel
+  /// heaps belong to their lane threads and a coordinator-side sweep would
+  /// race them.
   SimTime next_event_time() const;
+  /// Total queued lane events; between windows only (checked), like
+  /// next_event_time().
   std::size_t pending_events() const;
   std::uint64_t events_executed() const { return events_executed_; }
   SimTime barrier_time() const { return barrier_time_; }
@@ -94,6 +99,9 @@ class LaneCoordinator {
   /// Per-lane-execution thread environment (e.g. the cluster installs its
   /// simulation as the thread's time source). `enter` runs on the executing
   /// thread before a lane's first event of a window, `exit` after its last.
+  /// Only callable between windows (checked): lane threads read the hooks
+  /// unsynchronized, which is safe precisely because the coordinator never
+  /// swaps them while a window is open.
   void set_thread_hooks(std::function<void(std::size_t lane)> enter,
                         std::function<void(std::size_t lane)> exit);
 
@@ -161,6 +169,24 @@ class LaneCoordinator {
   void run_lane(std::size_t lane, SimTime horizon, bool buffer_effects);
   void drain_mailbox(SimTime horizon);
 
+  // Concurrency contract (see DESIGN.md "Concurrency contract"): nothing
+  // here is mutex-guarded because nothing is ever *shared* mutably —
+  // ownership moves with the window fork/join instead.
+  //  * channels_[c] is lane-confined: during a window, only the thread
+  //    running lane `channels_[c].lane` touches its heap; between windows
+  //    only the coordinator thread does. The pool's submit/join pair is the
+  //    happens-before edge at each ownership transfer.
+  //  * lane_runs_[l] (outbox, trace buffer, executed) is written only by
+  //    lane `l`'s thread during a window and only by the coordinator at the
+  //    barrier.
+  //  * window_horizon_ / barrier_time_ / hooks are written by the
+  //    coordinator strictly outside windows; lane threads read them inside a
+  //    window, after the fork edge.
+  //  * events_executed_ is coordinator-only.
+  // tools/lane_lint.py checks the call-site side of this contract (no
+  // cross-lane Simulation::schedule_*, no raw Simulation*/TraceRecorder*
+  // captured into pool tasks); the AGILE_CHECKs in lanes.cpp enforce the
+  // window-state transitions at runtime.
   std::size_t lanes_;
   util::ThreadPool* pool_;
   std::vector<Channel> channels_;

@@ -44,6 +44,13 @@ struct TraceEvent {
   double value = 0;      // counter sample / instant or span argument
 };
 
+/// Thread-confined by contract, not by locks: a recorder is only ever
+/// touched by the thread it is installed on (`set_recorder` is
+/// thread-local), and the lane coordinator's merge paths (`append_events`,
+/// `merge_entity_names`) run strictly after the window barrier, when every
+/// lane thread has finished writing its per-lane recorder. tools/lane_lint.py
+/// rule LL002 keeps raw TraceRecorder* from leaking into pool tasks, which
+/// is what would break this confinement.
 class TraceRecorder {
  public:
   TraceRecorder() = default;

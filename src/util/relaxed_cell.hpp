@@ -10,6 +10,11 @@
 //
 // The cell is copyable/movable (value snapshot, like a plain integer) so it
 // can live in vectors that grow, unlike a raw std::atomic.
+//
+// Counters that lanes may touch concurrently MUST use this type, never a
+// plain integer; tools/lane_lint.py keeps a registry of such members (rule
+// LL004) and fails if one is declared without a RelaxedCell. When adding a
+// new cross-lane counter, add it to the registry in the same change.
 #pragma once
 
 #include <atomic>

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(unsigned workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // shutdown with nothing left to drain
       task = std::move(queue_.front());
       queue_.pop();

@@ -9,15 +9,15 @@
 // submitter, never in the worker.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace agile::util {
 
@@ -37,14 +37,15 @@ class ThreadPool {
   /// Enqueues `fn` and returns a future for its result. Safe to call from
   /// any thread, including from inside a running task.
   template <typename Fn>
-  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+      AGILE_EXCLUDES(mu_) {
     using R = std::invoke_result_t<std::decay_t<Fn>>;
     // std::function requires copyable callables, so the packaged_task (which
     // is move-only) rides behind a shared_ptr.
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -58,12 +59,14 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop() AGILE_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ AGILE_GUARDED_BY(mu_);
+  bool shutdown_ AGILE_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, joined by the destructor; never touched
+  // by worker threads, so it needs no guard.
   std::vector<std::thread> workers_;
 };
 

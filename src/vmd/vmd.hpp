@@ -89,6 +89,8 @@ class VmdServer {
   /// concurrently. The counts are commutative sums, and the lane planner
   /// serializes the fleet whenever placement would actually depend on them
   /// (disk tier configured, or memory within the safety margin of full).
+  /// Registered in tools/lane_lint.py's shared-counter registry (LL004):
+  /// re-declaring either as a plain integer fails the lint.
   util::RelaxedCell<std::uint64_t> memory_pages_;
   util::RelaxedCell<std::uint64_t> disk_pages_;
   std::unique_ptr<storage::SsdModel> disk_;

@@ -1,0 +1,28 @@
+// Compile-FAIL fixture for tools/check_thread_safety.sh: reads and writes a
+// guarded member without holding its mutex. The script asserts that clang
+// rejects this file *with a thread-safety diagnostic* — proving the
+// MutexLock/AGILE_GUARDED_BY wrappers actually arm the analysis rather than
+// expanding to accepted-but-inert attributes.
+//
+// Not part of any CMake target: the default (GCC) build never sees it.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Guarded {
+  agile::util::Mutex mu;
+  int value AGILE_GUARDED_BY(mu) = 0;
+
+  // BAD: no MutexLock, no AGILE_REQUIRES — the analysis must reject both
+  // the read and the write.
+  int read_unguarded() const { return value; }
+  void write_unguarded(int v) { value = v; }
+};
+
+}  // namespace
+
+int thread_safety_violation_fixture() {
+  Guarded g;
+  g.write_unguarded(3);
+  return g.read_unguarded();
+}

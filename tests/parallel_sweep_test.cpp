@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,29 @@ TEST(RunCache, ConcurrentSameKeyComputesOnce) {
     EXPECT_DOUBLE_EQ(r.avg_perf, 6.5);
   }
   EXPECT_EQ(computed.load(), 1);
+}
+
+// Regression test: a compute that throws used to leave its exception-holding
+// future in the in-flight table forever, so every later cached_run(key)
+// rethrew the stale exception instead of retrying. The failed attempt must
+// be retired from the table (found by lane-audit review of the run cache).
+TEST(RunCache, FailedComputeRetriesInsteadOfCachingTheThrow) {
+  std::remove(cache_path("test_retry_key").c_str());  // drop prior-run state
+  int calls = 0;
+  auto compute = [&calls] {
+    if (++calls == 1) throw std::runtime_error("transient failure");
+    CachedRun r;
+    r.avg_perf = 42.0;
+    return r;
+  };
+  EXPECT_THROW(cached_run("test_retry_key", compute), std::runtime_error);
+  CachedRun r = cached_run("test_retry_key", compute);
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(r.avg_perf, 42.0);
+  // And the successful retry is cached like any other result.
+  CachedRun again = cached_run("test_retry_key", compute);
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(again.avg_perf, 42.0);
 }
 
 TEST(RunCache, RoundTripsThroughDisk) {

@@ -2,12 +2,14 @@
 
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/bitmap.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/units.hpp"
 
 namespace agile {
@@ -482,6 +484,62 @@ TEST(Bitmap, RangeOpsAtSizeBoundary) {
   bm.clear_range(0, 0);
   EXPECT_EQ(bm.count(), 0u);
   bm.deep_audit();
+}
+
+// --- annotated mutex primitives (util/thread_annotations.hpp) ----------
+//
+// The AGILE_* attributes themselves are exercised by clang in
+// tools/check_thread_safety.sh; these tests pin the *runtime* behaviour of
+// the wrappers on every compiler, annotations or not.
+
+TEST(ThreadAnnotations, MutexLockSerializesWriters) {
+  util::Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        util::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  util::MutexLock lock(mu);
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(ThreadAnnotations, TryLockReflectsOwnership) {
+  util::Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // A different thread must see the mutex as held (try_lock on the owning
+  // thread would be UB for std::mutex).
+  std::thread other([&] { EXPECT_FALSE(mu.try_lock()); });
+  other.join();
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(ThreadAnnotations, CondVarWaitReleasesAndReacquires) {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool ready = false;
+  // The consumer below holds `mu` while waiting; the producer can only set
+  // `ready` if cv.wait() genuinely released the mutex, and the consumer can
+  // only read it safely if wait() reacquired before returning.
+  std::thread producer([&] {
+    util::MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    util::MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
 }
 
 }  // namespace

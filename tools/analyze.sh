@@ -1,26 +1,40 @@
 #!/usr/bin/env bash
 # Full correctness matrix for the agile-migration simulator.
 #
-# Runs, in order:
-#   1. werror     — default preset rebuilt with AGILE_WERROR=ON (warning-clean gate)
-#   2. lint       — tools/lint_determinism.py over src/ + bench/ + examples/
-#   3. asan-ubsan — full ctest suite under ASan+UBSan with audits compiled in
-#   4. tsan       — thread_pool / parallel_sweep / wire tests under TSan
-#   5. tidy       — clang-tidy over every TU (skipped when clang-tidy is absent)
+# Legs, in order:
+#   1. werror        — default preset rebuilt with AGILE_WERROR=ON
+#                      (warning-clean gate)
+#   2. lint          — tools/lint_determinism.py over src/ + bench/ + examples/
+#   3. lane-lint     — tools/lane_lint.py lane-confinement analyzer
+#                      (self-test fixtures + clean real tree)
+#   4. thread-safety — clang -Wthread-safety over the AGILE_* annotations
+#                      (tools/check_thread_safety.sh; SKIP without clang++)
+#   5. asan-ubsan    — full ctest suite under ASan+UBSan with audits compiled in
+#   6. tsan          — thread_pool / parallel_sweep / wire tests under TSan
+#   7. tidy          — clang-tidy over every TU (SKIP when absent)
 #
 # Usage:
-#   tools/analyze.sh              # run everything
+#   tools/analyze.sh              # run everything (same as `all`)
+#   tools/analyze.sh all          # explicit: the whole matrix
 #   tools/analyze.sh werror lint  # run a subset of legs
 #
+# Every leg lands in the single summary table at the end as PASS / FAIL /
+# SKIP(reason); the exit status is non-zero iff some leg FAILed (SKIPs are
+# visible but never fail the run — missing clang must not mask real failures
+# on machines that do have it).
+#
 # Expected wall time on one core: werror ~3 min, asan-ubsan ~10 min,
-# tsan ~2 min, lint seconds.
+# tsan ~2 min, the static legs seconds.
 
 set -u
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+ALL_LEGS=(werror lint lane-lint thread-safety asan-ubsan tsan tidy)
 LEGS=("$@")
-[ ${#LEGS[@]} -eq 0 ] && LEGS=(werror lint asan-ubsan tsan tidy)
+if [ ${#LEGS[@]} -eq 0 ] || [ "${LEGS[0]}" = all ]; then
+  LEGS=("${ALL_LEGS[@]}")
+fi
 
 declare -A RESULT
 FAILED=0
@@ -38,6 +52,19 @@ record() { # name status
     echo "== $1: FAIL"
   else
     echo "== $1: $2"
+  fi
+}
+
+# Runs a command that follows the 0/1/77 convention and records
+# PASS / FAIL / SKIP(reason) accordingly.
+record_rc() { # name rc skip-reason
+  local name=$1 rc=$2 reason=$3
+  if [ "$rc" -eq 0 ]; then
+    record "$name" PASS
+  elif [ "$rc" -eq 77 ]; then
+    record "$name" "SKIP ($reason)"
+  else
+    record "$name" FAIL
   fi
 }
 
@@ -68,6 +95,18 @@ if want lint; then
   else
     record lint FAIL
   fi
+fi
+
+if want lane-lint; then
+  echo "== lane-lint: lane-confinement analyzer (fixtures + real tree)"
+  python3 tools/lane_lint.py --self-test
+  record_rc lane-lint $? "python3 not usable"
+fi
+
+if want thread-safety; then
+  echo "== thread-safety: clang -Wthread-safety over the annotated tree"
+  tools/check_thread_safety.sh
+  record_rc thread-safety $? "clang++ not found"
 fi
 
 if want asan-ubsan; then
@@ -105,6 +144,6 @@ fi
 echo
 echo "=== analyze.sh summary ==="
 for leg in "${LEGS[@]}"; do
-  printf '  %-10s %s\n' "$leg" "${RESULT[$leg]:-not run}"
+  printf '  %-14s %s\n' "$leg" "${RESULT[$leg]:-not run}"
 done
 exit $FAILED

@@ -1,0 +1,35 @@
+// Negative fixture for tools/lane_lint.py --self-test.
+//
+// A pool task reaches Simulation::schedule_at through one level of
+// indirection (the call graph must follow helper(), not just the lambda
+// body). Lane/pool code must route cross-lane work through
+// LaneCoordinator::post; mutating the simulation's event heap from a worker
+// thread races the coordinator.
+//
+// Never compiled — parsed only by the lint's self-test.
+// lane-lint-expect: LL001
+
+namespace fx {
+
+struct Simulation {
+  void schedule_at(long t, int ev);
+};
+
+struct ThreadPool {
+  template <typename Fn>
+  void submit(Fn fn);
+};
+
+struct Driver {
+  Simulation* sim_;
+  ThreadPool* pool_;
+
+  // The banned call lives here, one hop away from the task lambda.
+  void helper(long t) { sim_->schedule_at(t, 1); }
+
+  void fan_out() {
+    pool_->submit([this] { helper(5); });
+  }
+};
+
+}  // namespace fx

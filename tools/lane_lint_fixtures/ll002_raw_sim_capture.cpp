@@ -1,0 +1,26 @@
+// Negative fixture for tools/lane_lint.py --self-test.
+//
+// A raw Simulation* is captured straight into a ThreadPool::submit lambda.
+// Pool tasks outlive their enclosing scope and run on foreign threads, so
+// they must receive owned or lane-confined state — never a bare pointer to
+// the (single, shared) simulation.
+//
+// Never compiled — parsed only by the lint's self-test.
+// lane-lint-expect: LL002
+
+namespace fx {
+
+struct Simulation {
+  void tick();
+};
+
+struct ThreadPool {
+  template <typename Fn>
+  void submit(Fn fn);
+};
+
+void fan_out(ThreadPool& pool, Simulation* sim) {
+  pool.submit([sim] { sim->tick(); });
+}
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Negative fixture for tools/lane_lint.py --self-test.
+//
+// A pool task reaches a thread_local read through a helper that is not on
+// the sanctioned accessor list. Worker threads see a different instance of
+// every thread_local than the coordinator does, so only the lane runtime
+// itself (and the set_thread_hooks lambdas) may touch the registry.
+//
+// Never compiled — parsed only by the lint's self-test.
+// lane-lint-expect: LL003
+
+namespace fx {
+
+thread_local int t_fixture_ctx = 0;
+
+struct ThreadPool {
+  template <typename Fn>
+  void submit(Fn fn);
+};
+
+// Unsanctioned thread-local read, one hop from the task lambda.
+int helper() { return t_fixture_ctx; }
+
+void fan_out(ThreadPool& pool) {
+  pool.submit([] { return helper(); });
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Negative fixture for tools/lane_lint.py --self-test.
+//
+// A counter registered as a cross-lane commutative sum (the
+// lane-lint-registry directive below mirrors the REGISTRY table in
+// lane_lint.py) is declared as a plain integer instead of
+// util::RelaxedCell. Plain members bumped from several lanes are a data
+// race; registered counters must be RelaxedCell.
+//
+// Never compiled — parsed only by the lint's self-test.
+// lane-lint-expect: LL004
+// lane-lint-registry: FixtureNode::shared_pages
+
+namespace fx {
+
+struct FixtureNode {
+  // BAD: bumped from every lane, but not a RelaxedCell.
+  unsigned long long shared_pages = 0;
+};
+
+}  // namespace fx

@@ -19,14 +19,17 @@ contract:
                structs are aggregate-built and memcmp'd/serialized, so an
                unwritten member leaks indeterminate bytes.
 
-src/trace/, src/sim/ and the multi-stream wire module (src/migration/wire.*
-and stream_group.*) get a stricter profile on top of the above: trace exports,
-the event core (heap + sharded lanes — execution order must be identical at
-every lane count) and the wire data path must be byte-identical across runs,
-job counts and audit modes, so these modules may not even *include* <chrono>
-or <random>, read the environment (getenv; the AGILE_SIM_LANES knob is read
-by host/cluster, outside the core), or use unordered containers at all
-(delivery and export order must never depend on hashing).
+src/trace/, src/sim/, src/host/, src/core/ and the multi-stream wire module
+(src/migration/wire.* and stream_group.*) get a stricter zero-tolerance
+profile on top of the above: trace exports, the event core (heap + sharded
+lanes — execution order must be identical at every lane count), the cluster
+orchestration layer and the scenario/testbed layer drive everything the
+golden tests pin byte-for-byte, so these modules may not even *include*
+<chrono> or <random>, read the environment (getenv), or use unordered
+containers at all (delivery and export order must never depend on hashing).
+The one sanctioned getenv — the AGILE_SIM_LANES lane-count knob in
+host/cluster.cpp, which selects *how* the identical schedule is computed,
+never *what* it is — is carried as a justified allowlist entry.
 
 Scope: src/, bench/ and examples/ (tests may use wall clocks for timeouts).
 Exceptions go in tools/lint_determinism_allow.txt, one per line:
@@ -34,7 +37,10 @@ Exceptions go in tools/lint_determinism_allow.txt, one per line:
     path-suffix :: line-substring   # rationale
 
 A finding is waived when the file path ends with `path-suffix` and the
-offending line contains `line-substring`.
+offending line contains `line-substring`. Every entry must still match at
+least one source line that would otherwise be a finding: stale entries are
+hard errors (exit 2), so the allowlist can only shrink over time unless
+someone writes down a new rationale.
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -93,8 +99,16 @@ TRACE_STRICT = strict_rules("trace")
 WIRE_STRICT = strict_rules("wire")
 # The event core: the heap and the sharded lane coordinator decide execution
 # order for everything else, and that order must be identical at every lane
-# count (AGILE_SIM_LANES itself is resolved in host/cluster, not here).
+# count (AGILE_SIM_LANES itself is resolved in host/cluster and carried as a
+# justified allowlist entry).
 SIM_STRICT = strict_rules("sim")
+# Cluster orchestration (quantum loop, lane planning, migration scheduling):
+# everything here runs inside the simulated clock and is pinned by the golden
+# fleet/consolidation metrics.
+HOST_STRICT = strict_rules("host")
+# Scenario factories and the testbed: they *construct* the deterministic
+# world, so any ambient input here skews every golden table downstream.
+CORE_STRICT = strict_rules("core")
 
 
 def in_trace_module(relpath):
@@ -103,6 +117,14 @@ def in_trace_module(relpath):
 
 def in_sim_module(relpath):
     return relpath.startswith("src" + os.sep + "sim" + os.sep)
+
+
+def in_host_module(relpath):
+    return relpath.startswith("src" + os.sep + "host" + os.sep)
+
+
+def in_core_module(relpath):
+    return relpath.startswith("src" + os.sep + "core" + os.sep)
 
 
 def in_wire_module(relpath):
@@ -134,7 +156,7 @@ def load_allowlist():
     if not os.path.exists(ALLOWLIST_PATH):
         return entries
     with open(ALLOWLIST_PATH, encoding="utf-8") as fh:
-        for raw in fh:
+        for lineno, raw in enumerate(fh, start=1):
             line = raw.split("#", 1)[0].strip()
             if not line:
                 continue
@@ -143,13 +165,18 @@ def load_allowlist():
                       file=sys.stderr)
                 sys.exit(2)
             suffix, substr = (part.strip() for part in line.split("::", 1))
-            entries.append((suffix, substr))
+            entries.append({"suffix": suffix, "substr": substr,
+                            "lineno": lineno, "used": False})
     return entries
 
 
 def allowed(entries, relpath, line):
-    return any(relpath.endswith(suffix) and substr in line
-               for suffix, substr in entries)
+    hit = False
+    for e in entries:
+        if relpath.endswith(e["suffix"]) and e["substr"] in line:
+            e["used"] = True
+            hit = True
+    return hit
 
 
 def in_rng_module(relpath):
@@ -205,6 +232,14 @@ def scan_file(relpath, allow):
             for pat, msg in SIM_STRICT:
                 if pat.search(line):
                     report(msg)
+        if in_host_module(relpath):
+            for pat, msg in HOST_STRICT:
+                if pat.search(line):
+                    report(msg)
+        if in_core_module(relpath):
+            for pat, msg in CORE_STRICT:
+                if pat.search(line):
+                    report(msg)
         if in_wire_module(relpath):
             for pat, msg in WIRE_STRICT:
                 if pat.search(line):
@@ -236,6 +271,7 @@ def main():
                     continue
                 rel = os.path.relpath(os.path.join(dirpath, fn), REPO)
                 findings.extend(scan_file(rel, allow))
+    stale = [e for e in allow if not e["used"]]
     if findings:
         print(f"lint_determinism: {len(findings)} finding(s):\n")
         for relpath, lineno, msg, text in findings:
@@ -243,6 +279,13 @@ def main():
         print("\nFix the construct or add a justified entry to "
               "tools/lint_determinism_allow.txt")
         return 1
+    if stale:
+        for e in stale:
+            print(f"lint_determinism: stale allowlist entry at "
+                  f"tools/lint_determinism_allow.txt:{e['lineno']} "
+                  f"({e['suffix']} :: {e['substr']}) matches no source line "
+                  f"— delete it")
+        return 2
     print("lint_determinism: clean")
     return 0
 
