@@ -11,6 +11,10 @@
 //   AGILE_TRACE=out.json record a Chrome trace per freshly executed run,
 //                        written to out.json.<run-key>.json (cached runs
 //                        re-use prior results and record nothing)
+//   AGILE_STATS=stem     record deterministic metrics snapshots per freshly
+//                        executed run, written to stem.<run-key>.stats.json
+//                        (+ .stats.prom); byte-identical across reruns, lane
+//                        counts and job counts (see src/stats)
 //
 // Each bench ends with a timing footer (see `footer`) so sweep speedups are
 // measurable: wall-clock, jobs, runs executed vs served from cache, total
@@ -26,6 +30,7 @@
 
 #include "metrics/table.hpp"
 #include "migration/migration.hpp"
+#include "stats/stats.hpp"
 
 namespace agile::bench {
 
@@ -68,6 +73,28 @@ inline const std::string& trace_stem() {
     return std::string(env != nullptr ? env : "");
   }();
   return stem;
+}
+
+/// Stats output stem from AGILE_STATS, or empty when stats are off. Each
+/// freshly executed run writes `<stem>.<key>.stats.json` (snapshots) and
+/// `<stem>.<key>.stats.prom` (final Prometheus exposition).
+inline const std::string& stats_stem() {
+  static const std::string stem = [] {
+    const char* env = std::getenv("AGILE_STATS");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return stem;
+}
+
+/// Writes one run's registry under the AGILE_STATS stem: snapshots JSON to
+/// `<stem>.<key>.stats.json` and the final Prometheus exposition to
+/// `<stem>.<key>.stats.prom`. Failures warn inside the registry's writer
+/// (the Status is intentionally not re-raised on bench paths).
+inline void write_run_stats(const stats::Registry& registry,
+                            const std::string& key, stats::StatsTime now) {
+  const std::string base = stats_stem() + "." + key + ".stats";
+  (void)registry.write_snapshots_json(base + ".json");
+  (void)registry.write_prometheus(base + ".prom", now);
 }
 
 /// Process-wide sweep accounting, fed by the runners and printed by `footer`.

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Determinism harness for the AGILE_STATS exports.
+#
+# Runs the fleet consolidation bench (quick mode) under varying runtime knobs
+# and byte-compares the per-technique stats artifacts — the same bar the
+# FLEET_GOLDEN block meets. Modes:
+#
+#   lanes  stats files identical at AGILE_SIM_LANES = 1, 2, 8
+#   jobs   stats files identical at AGILE_BENCH_JOBS = 1, 4
+#   audit  stats files identical with and without AGILE_AUDIT=1
+#   off    with AGILE_STATS unset, the golden block matches the stats-on run
+#          (instrumentation must not perturb the simulation)
+#
+# Usage: check_stats_determinism.sh <fleet_consolidation binary> <mode> <outdir>
+set -euo pipefail
+
+bin=$1
+mode=$2
+out=$3
+
+run() {  # run <dir> [VAR=VAL ...] — one quick fleet bench into $out/<dir>
+  local dir="$out/$1"
+  shift
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  env AGILE_BENCH_QUICK=1 AGILE_BENCH_JOBS=1 AGILE_BENCH_OUT="$dir" \
+      "$@" "$bin" > /dev/null
+}
+
+cmp_stats() {  # cmp_stats <dir_a> <dir_b> — diff every stats artifact
+  local t
+  for t in pre-copy post-copy agile scatter-gather; do
+    cmp "$out/$1/s.fleet_${t}.stats.json" "$out/$2/s.fleet_${t}.stats.json"
+    cmp "$out/$1/s.fleet_${t}.stats.prom" "$out/$2/s.fleet_${t}.stats.prom"
+  done
+}
+
+case "$mode" in
+  lanes)
+    run lanes1 AGILE_STATS="$out/lanes1/s" AGILE_SIM_LANES=1
+    run lanes2 AGILE_STATS="$out/lanes2/s" AGILE_SIM_LANES=2
+    run lanes8 AGILE_STATS="$out/lanes8/s" AGILE_SIM_LANES=8
+    cmp_stats lanes1 lanes2
+    cmp_stats lanes1 lanes8
+    ;;
+  jobs)
+    run jobs1 AGILE_STATS="$out/jobs1/s"
+    run jobs4 AGILE_STATS="$out/jobs4/s" AGILE_BENCH_JOBS=4
+    cmp_stats jobs1 jobs4
+    ;;
+  audit)
+    run plain AGILE_STATS="$out/plain/s"
+    run audit AGILE_STATS="$out/audit/s" AGILE_AUDIT=1
+    cmp_stats plain audit
+    ;;
+  off)
+    run on AGILE_STATS="$out/on/s"
+    run off
+    cmp "$out/on/fleet_consolidation_golden.txt" \
+        "$out/off/fleet_consolidation_golden.txt"
+    ;;
+  *)
+    echo "unknown mode: $mode" >&2
+    exit 2
+    ;;
+esac

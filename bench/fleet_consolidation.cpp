@@ -44,12 +44,19 @@ FleetRun run_fleet(core::Technique technique) {
     opt.hot_vms = 4;
     opt.source_ram = 3_GiB;
   }
+  opt.stats = !bench::stats_stem().empty();
   scen::Fleet fleet = scen::make_fleet(opt);
   fleet.load_all();
   fleet.orchestrator->start();
   fleet.bed->cluster().run_for_seconds(bench::quick_mode() ? 400 : 500);
   fleet.orchestrator->stop();
   bench::record_run(fleet.bed->cluster().simulation().events_executed());
+  if (fleet.registry != nullptr) {
+    bench::write_run_stats(*fleet.registry,
+                           std::string("fleet_") +
+                               core::technique_name(technique),
+                           fleet.bed->cluster().simulation().now());
+  }
 
   FleetRun run;
   run.technique = technique;

@@ -28,6 +28,7 @@ inline CachedRun run_single_vm(core::Technique technique, Bytes vm_memory,
       opt.free_margin = 64_MiB;
     }
     opt.trace = !trace_stem().empty();
+    opt.stats = !stats_stem().empty();
     core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
     sc.prepare();
     sc.run_migration();
@@ -37,6 +38,9 @@ inline CachedRun run_single_vm(core::Technique technique, Bytes vm_memory,
       Status st = sc.session->recorder().write_chrome_json(trace_stem() + "." +
                                                            key + ".json");
       if (!st.is_ok()) AGILE_LOG_WARN("%s", st.message().c_str());
+    }
+    if (sc.registry != nullptr) {
+      write_run_stats(*sc.registry, key, sc.bed->cluster().simulation().now());
     }
     CachedRun r;
     r.migration = sc.migration->metrics();

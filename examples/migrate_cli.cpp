@@ -17,6 +17,10 @@
 //   --timeline         print 1 s throughput samples while migrating
 //   --trace-out=FILE   record a Chrome trace_event JSON of the run
 //                      (load in chrome://tracing or ui.perfetto.dev)
+//   --stats-out=FILE   record deterministic metrics snapshots; writes JSON
+//                      snapshots to FILE and a Prometheus text exposition of
+//                      the final state to FILE.prom (see tools/stats_report.py)
+//   --stats-interval=N scrape period in simulated seconds (default 1)
 //   --watermark-high=F high watermark fraction of RAM    (default 0.90)
 //   --watermark-low=F  low watermark fraction of RAM     (default 0.75)
 //   --fleet            orchestrated multi-host mode: VMs consolidated on
@@ -33,6 +37,7 @@
 
 #include "core/scenarios.hpp"
 #include "metrics/table.hpp"
+#include "stats/stats.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "wss/watermark_trigger.hpp"
@@ -56,6 +61,7 @@ int usage(const char* argv0) {
                "          [--zero-fraction=F]\n"
                "          [--read-fraction=F] [--seed=N] [--timeline]\n"
                "          [--trace-out=FILE]\n"
+               "          [--stats-out=FILE] [--stats-interval=N]\n"
                "          [--watermark-high=F] [--watermark-low=F]\n"
                "          [--fleet] [--hosts=N] [--vms=N] [--hot=N]\n"
                "          [--duration=S]\n",
@@ -63,7 +69,23 @@ int usage(const char* argv0) {
   return 2;
 }
 
-int run_fleet(core::scenarios::FleetOptions opt, double duration_s) {
+// Writes snapshots JSON to `path` and the final Prometheus exposition to
+// `path + ".prom"`. Returns false (after printing the error) on failure.
+bool export_stats(const stats::Registry& registry, const std::string& path,
+                  SimTime now) {
+  Status st = registry.write_snapshots_json(path);
+  if (st.is_ok()) st = registry.write_prometheus(path + ".prom", now);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "stats export failed: %s\n", st.message().c_str());
+    return false;
+  }
+  std::printf("wrote stats snapshots to %s (+ %s.prom)\n", path.c_str(),
+              path.c_str());
+  return true;
+}
+
+int run_fleet(core::scenarios::FleetOptions opt, double duration_s,
+              const std::string& stats_out) {
   core::scenarios::Fleet fleet = core::scenarios::make_fleet(opt);
   core::Testbed& bed = *fleet.bed;
   std::printf("Fleet: %u hosts, %u VMs consolidated on host0; %u working "
@@ -121,6 +143,10 @@ int run_fleet(core::scenarios::FleetOptions opt, double duration_s) {
                mm.completed ? "yes" : "no"});
   }
   std::printf("\n%s", t.to_string().c_str());
+  if (!stats_out.empty() &&
+      !export_stats(*fleet.registry, stats_out, bed.cluster().simulation().now())) {
+    return 1;
+  }
   return 0;
 }
 
@@ -138,6 +164,8 @@ int main(int argc, char** argv) {
   double zero_fraction = 0.0;
   bool busy = false, timeline = false, fleet = false;
   std::string trace_out;
+  std::string stats_out;
+  double stats_interval_s = 1.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -181,6 +209,11 @@ int main(int argc, char** argv) {
       seed = std::stoull(v);
     } else if (parse_flag(argv[i], "trace-out", &v)) {
       trace_out = v;
+    } else if (parse_flag(argv[i], "stats-out", &v)) {
+      stats_out = v;
+    } else if (parse_flag(argv[i], "stats-interval", &v)) {
+      stats_interval_s = std::stod(v);
+      if (stats_interval_s <= 0) return usage(argv[0]);
     } else if (parse_flag(argv[i], "hosts", &v)) {
       fleet_hosts = static_cast<std::uint32_t>(std::stoul(v));
     } else if (parse_flag(argv[i], "vms", &v)) {
@@ -219,7 +252,9 @@ int main(int argc, char** argv) {
     fopt.watermarks.high = watermark_high;
     fopt.watermarks.low = watermark_low;
     fopt.seed = seed;
-    return run_fleet(fopt, duration_s);
+    fopt.stats = !stats_out.empty();
+    fopt.stats_interval = sec(stats_interval_s);
+    return run_fleet(fopt, duration_s, stats_out);
   }
 
   if (vm_gb <= 0.1 || host_gb <= 0.6) {
@@ -241,6 +276,8 @@ int main(int argc, char** argv) {
   opt.num_streams = streams;
   opt.compression = compression;
   opt.zero_page_fraction = zero_fraction;
+  opt.stats = !stats_out.empty();
+  opt.stats_interval = sec(stats_interval_s);
   core::scenarios::SingleVm sc = core::scenarios::make_single_vm(opt);
   if (busy && sc.ycsb == nullptr) return usage(argv[0]);
   std::printf("Preparing a %.1f GiB %s VM on a %.1f GiB host (%s)...\n", vm_gb,
@@ -325,6 +362,11 @@ int main(int argc, char** argv) {
     std::printf("\n%s", rec.summary().c_str());
     std::printf("\nwrote %zu trace events to %s\n", rec.event_count(),
                 trace_out.c_str());
+  }
+  if (!stats_out.empty() &&
+      !export_stats(*sc.registry, stats_out,
+                    sc.bed->cluster().simulation().now())) {
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,118 @@
+// Fleet-wide stats collection: the bridge between a Testbed and a
+// stats::Registry.
+//
+// A FleetStatsCollector pre-registers per-host and per-VM gauges on the
+// coordinator thread (stable registration order: hosts by index, VMs by
+// index), then drives a periodic scrape through Cluster::start_scrape. The
+// per-host half runs inside the host's event lane — it only *sets* gauges
+// owned by that host's resident VMs (a VM lives on exactly one host, so each
+// cell has a single writer per scrape window; the cells themselves are
+// relaxed-atomic). The finalize half runs on the coordinator thread after
+// the lane barrier: VMD occupancy, per-host network counters and link
+// utilization, per-migration health (model-derived ETA / projected
+// downtime), orchestrator gauges, then one registry snapshot. Everything is
+// integer state of the simulation, so snapshots are byte-identical at any
+// lane count, job count or audit mode.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "stats/health.hpp"
+#include "stats/stats.hpp"
+
+namespace agile::core {
+
+class MigrationOrchestrator;
+
+class FleetStatsCollector {
+ public:
+  FleetStatsCollector(Testbed* bed, stats::Registry* registry);
+  ~FleetStatsCollector();
+
+  FleetStatsCollector(const FleetStatsCollector&) = delete;
+  FleetStatsCollector& operator=(const FleetStatsCollector&) = delete;
+
+  /// Also scrape orchestrator state: decision counters (bound directly on
+  /// the orchestrator), per-VM WSS estimates, and per-host watermark
+  /// distance. Call before start().
+  void set_orchestrator(MigrationOrchestrator* orchestrator);
+
+  /// Registers all static metrics and begins scraping every `interval`.
+  void start(SimTime interval);
+  void stop();
+
+  stats::Registry* registry() { return registry_; }
+
+ private:
+  struct HostCells {
+    stats::Gauge* ram_used = nullptr;
+    stats::Gauge* vm_count = nullptr;
+    stats::Counter* net_tx = nullptr;
+    stats::Counter* net_rx = nullptr;
+    stats::Gauge* link_util_pct = nullptr;
+    stats::Gauge* watermark_distance = nullptr;  ///< Null w/o orchestrator.
+    std::uint64_t prev_tx = 0;  ///< Coordinator-only (utilization window).
+    std::uint64_t prev_rx = 0;
+  };
+  struct VmCells {
+    stats::Gauge* resident = nullptr;
+    stats::Gauge* swapped = nullptr;
+    stats::Gauge* remote = nullptr;
+    stats::Gauge* zero = nullptr;
+    stats::Gauge* reservation = nullptr;
+    stats::Counter* major_faults = nullptr;
+    stats::Counter* swap_ins = nullptr;
+    stats::Counter* swap_outs = nullptr;
+  };
+  struct VmdCells {
+    stats::Gauge* used = nullptr;
+    stats::Gauge* free = nullptr;
+    stats::Gauge* memory_pages = nullptr;
+    stats::Gauge* disk_pages = nullptr;
+  };
+  /// One observed migration, keyed by VM name (never by pointer: managers
+  /// are destroyed and reallocated, and name keys keep map order
+  /// deterministic). Health gauges are registered on first sight.
+  struct MigrationTrack {
+    SimTime start_time = -1;  ///< Detects manager reuse for the same VM.
+    stats::MigrationHealthModel model;
+    stats::Gauge* phase = nullptr;
+    stats::Gauge* pages_owed = nullptr;
+    stats::Gauge* pages_remote = nullptr;
+    stats::Gauge* backlog = nullptr;
+    stats::Gauge* bytes_wire = nullptr;
+    stats::Gauge* transfer_rate = nullptr;
+    stats::Gauge* eta = nullptr;
+    stats::Gauge* projected_downtime = nullptr;
+    bool completion_recorded = false;
+  };
+
+  void register_static_metrics();
+  void collect_host(std::size_t index, host::Host& host);  ///< Lane context.
+  void finalize(SimTime now);                              ///< Coordinator.
+  void update_migration_health(SimTime now);
+  MigrationTrack& track_for(const std::string& vm_name);
+
+  Testbed* bed_;
+  stats::Registry* registry_;
+  MigrationOrchestrator* orchestrator_ = nullptr;
+  SimTime interval_ = 0;
+  std::vector<HostCells> host_cells_;  ///< By host index.
+  std::vector<VmCells> vm_cells_;      ///< By testbed VM index.
+  /// Lane-side lookup from a resident machine to its cells (lookups only —
+  /// never iterated, so the pointer keys cannot leak address order).
+  std::map<const vm::VirtualMachine*, std::size_t> vm_index_;
+  std::vector<VmdCells> vmd_cells_;    ///< By VMD server index.
+  std::map<std::string, MigrationTrack> migrations_;  ///< By VM name.
+  stats::Histogram* migration_time_ms_ = nullptr;
+  stats::Histogram* migration_downtime_ms_ = nullptr;
+  stats::Counter* migrations_completed_ = nullptr;
+  stats::Counter* scrapes_ = nullptr;
+  std::shared_ptr<sim::PeriodicTask> task_;
+};
+
+}  // namespace agile::core

@@ -49,6 +49,44 @@ Bytes MigrationOrchestrator::wss_estimate(const VmHandle* handle) const {
   return 0;
 }
 
+Bytes MigrationOrchestrator::reserved_bytes_at(const host::Host* host) const {
+  Bytes total = 0;
+  for (const InFlight& f : in_flight_) {
+    if (f.dest == host && !host->has_vm(f.handle->machine)) {
+      total += f.reserved_wss;
+    }
+  }
+  return total;
+}
+
+void MigrationOrchestrator::bind_stats(stats::Registry* registry) {
+  if (registry == nullptr) {
+    stats_ = StatsCells{};
+    return;
+  }
+  stats_.evaluations = registry->counter(
+      "agile_orchestrator_evaluations_total", {},
+      "Periodic watermark evaluation sweeps run");
+  stats_.decisions = registry->counter(
+      "agile_orchestrator_decisions_total", {},
+      "Pressured decisions recorded (victims selected)");
+  stats_.launches = registry->counter(
+      "agile_orchestrator_launches_total", {},
+      "Migrations launched (admissions)");
+  stats_.deferrals = registry->counter(
+      "agile_orchestrator_deferrals_total", {},
+      "Victims deferred (no admissible destination or link cap)");
+  stats_.insufficient = registry->counter(
+      "agile_orchestrator_insufficient_total", {},
+      "Decisions where even migrating every tracked VM leaves pressure");
+  stats_.in_flight = registry->gauge(
+      "agile_orchestrator_in_flight", {},
+      "Launched migrations not yet completed");
+  stats_.reserved_bytes = registry->gauge(
+      "agile_orchestrator_reserved_bytes", {},
+      "Admission reservations held by in-flight migrations");
+}
+
 std::size_t MigrationOrchestrator::migrations_in_flight() const {
   std::size_t count = 0;
   for (const auto& m : migrations_) count += !m->completed();
@@ -101,6 +139,12 @@ void MigrationOrchestrator::evaluate(SimTime now) {
                                     return f.migration->completed();
                                   }),
                    in_flight_.end());
+  if (stats_.evaluations != nullptr) stats_.evaluations->inc();
+  // Publish after retiring completed migrations and again after the host
+  // sweep below: a migration launched this sweep must be visible to every
+  // scrape between now and the next evaluation, or a short migration
+  // (launch and completion inside one check interval) never shows up.
+  publish_in_flight_stats();
   if (now - started_at_ < config_.warmup) return;
   if (config_.wait_for_stable_estimates && !estimates_ready_) {
     for (const Entry& e : entries_) {
@@ -113,6 +157,19 @@ void MigrationOrchestrator::evaluate(SimTime now) {
   // deterministic.
   for (std::size_t h = 0; h < testbed_->host_count(); ++h) {
     evaluate_host(now, testbed_->host_at(h));
+  }
+  publish_in_flight_stats();
+}
+
+void MigrationOrchestrator::publish_in_flight_stats() {
+  if (stats_.in_flight == nullptr && stats_.reserved_bytes == nullptr) return;
+  Bytes reserved = 0;
+  for (const InFlight& f : in_flight_) reserved += f.reserved_wss;
+  if (stats_.in_flight != nullptr) {
+    stats_.in_flight->set(static_cast<std::int64_t>(in_flight_.size()));
+  }
+  if (stats_.reserved_bytes != nullptr) {
+    stats_.reserved_bytes->set(static_cast<std::int64_t>(reserved));
   }
 }
 
@@ -133,6 +190,7 @@ void MigrationOrchestrator::evaluate_host(SimTime now, host::Host* source) {
                                             pressures, config_.watermarks);
   if (!last_decision_.pressure || last_decision_.victims.empty()) return;
   if (last_decision_.insufficient) {
+    if (stats_.insufficient != nullptr) stats_.insufficient->inc();
     AGILE_LOG_WARN(
         "orchestrator: %s stays over the low watermark even if every "
         "tracked VM leaves (aggregate after %.2f GiB)",
@@ -166,6 +224,7 @@ void MigrationOrchestrator::evaluate_host(SimTime now, host::Host* source) {
     Entry* victim = present[last_decision_.victims[v]];
     if (placement[v] == wss::kNoPlacement) {
       ++record.deferred;
+      if (stats_.deferrals != nullptr) stats_.deferrals->inc();
       continue;
     }
     host::Host* dest = candidates[placement[v]];
@@ -174,6 +233,7 @@ void MigrationOrchestrator::evaluate_host(SimTime now, host::Host* source) {
     // conservative for one round; the victim retries next evaluation.
     if (link_load(source, dest) >= config_.per_link_in_flight_cap) {
       ++record.deferred;
+      if (stats_.deferrals != nullptr) stats_.deferrals->inc();
       continue;
     }
     Bytes estimate = victim->controller->wss_estimate();
@@ -190,8 +250,10 @@ void MigrationOrchestrator::evaluate_host(SimTime now, host::Host* source) {
         {migrations_.back().get(), victim->handle, source, dest, estimate});
     record.launches.push_back(
         {victim->handle->machine->name(), dest->name(), estimate});
+    if (stats_.launches != nullptr) stats_.launches->inc();
     if (on_migration_) on_migration_(victim->handle, dest);
   }
+  if (stats_.decisions != nullptr) stats_.decisions->inc();
   decisions_.push_back(std::move(record));
 }
 

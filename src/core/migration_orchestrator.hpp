@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "stats/stats.hpp"
 #include "wss/reservation_controller.hpp"
 #include "wss/watermark_trigger.hpp"
 
@@ -81,6 +82,23 @@ class MigrationOrchestrator {
   void stop();
 
   std::size_t tracked_count() const { return entries_.size(); }
+  /// Tracked VM / its reservation controller by registration index (for
+  /// stats binding and tests).
+  VmHandle* tracked_at(std::size_t i) const { return entries_[i].handle; }
+  wss::ReservationController* controller_at(std::size_t i) const {
+    return entries_[i].controller.get();
+  }
+
+  const MigrationOrchestratorConfig& config() const { return config_; }
+
+  /// Admission reservations currently held against `host` by in-flight
+  /// migrations whose VM has not yet attached there.
+  Bytes reserved_bytes_at(const host::Host* host) const;
+
+  /// Registers the orchestrator's counters/gauges on `registry` (decision /
+  /// deferral / admission / reservation counts). Coordinator-thread-only;
+  /// call before start(). Pass nullptr to detach.
+  void bind_stats(stats::Registry* registry);
 
   /// Working-set estimate for a tracked VM.
   Bytes wss_estimate(const VmHandle* handle) const;
@@ -122,6 +140,8 @@ class MigrationOrchestrator {
 
   void evaluate(SimTime now);
   void evaluate_host(SimTime now, host::Host* source);
+  /// Publishes the in-flight/reservation gauges (no-op when unbound).
+  void publish_in_flight_stats();
   bool vm_in_flight(const VmHandle* handle) const;
   std::size_t link_load(const host::Host* source, const host::Host* dest) const;
   /// Bytes already claimed against `host`'s RAM: host OS + working sets of
@@ -139,6 +159,16 @@ class MigrationOrchestrator {
   bool estimates_ready_ = false;
   wss::TriggerDecision last_decision_;
   std::vector<FleetDecision> decisions_;
+  struct StatsCells {
+    stats::Counter* evaluations = nullptr;
+    stats::Counter* decisions = nullptr;
+    stats::Counter* launches = nullptr;
+    stats::Counter* deferrals = nullptr;
+    stats::Counter* insufficient = nullptr;
+    stats::Gauge* in_flight = nullptr;
+    stats::Gauge* reserved_bytes = nullptr;
+  };
+  StatsCells stats_;
   std::function<void(VmHandle*, host::Host*)> on_migration_;
 };
 

@@ -157,6 +157,12 @@ SingleVm make_single_vm(const SingleVmOptions& options) {
     scenario.ycsb = load.get();
     bed.attach_workload(*scenario.handle, std::move(load));
   }
+  if (options.stats) {
+    scenario.registry = std::make_unique<stats::Registry>();
+    scenario.collector = std::make_unique<FleetStatsCollector>(
+        scenario.bed.get(), scenario.registry.get());
+    scenario.collector->start(options.stats_interval);
+  }
   return scenario;
 }
 
@@ -283,6 +289,13 @@ Fleet make_fleet(const FleetOptions& options) {
   scenario.orchestrator =
       std::make_unique<MigrationOrchestrator>(&bed, ocfg);
   for (VmHandle* h : scenario.handles) scenario.orchestrator->track(h);
+  if (options.stats) {
+    scenario.registry = std::make_unique<stats::Registry>();
+    scenario.collector = std::make_unique<FleetStatsCollector>(
+        scenario.bed.get(), scenario.registry.get());
+    scenario.collector->set_orchestrator(scenario.orchestrator.get());
+    scenario.collector->start(options.stats_interval);
+  }
   return scenario;
 }
 

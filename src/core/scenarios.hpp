@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fleet_stats.hpp"
 #include "core/migration_orchestrator.hpp"
 #include "core/testbed.hpp"
 #include "trace/trace.hpp"
@@ -88,6 +89,10 @@ struct SingleVmOptions {
   /// Record a trace of the run (spans/counters from every layer). Read it
   /// from `SingleVm::session` after the migration.
   bool trace = false;
+  /// Record deterministic metrics snapshots every `stats_interval`; read
+  /// them from `SingleVm::registry` after the run (see src/stats).
+  bool stats = false;
+  SimTime stats_interval = sec(1);
   /// Wire data-path knobs. Defaults keep the classic single-stream,
   /// uncompressed path (byte-identical to the pre-multi-stream scenarios).
   std::uint32_t num_streams = 1;
@@ -111,6 +116,11 @@ struct SingleVm {
   std::unique_ptr<trace::TraceSession> session;
   SingleVmOptions options;
   std::unique_ptr<Testbed> bed;
+  /// Engaged when options.stats: the registry outlives the collector, and
+  /// the collector (whose scrape task lives in the cluster) is declared
+  /// after `bed` so it is destroyed first.
+  std::unique_ptr<stats::Registry> registry;
+  std::unique_ptr<FleetStatsCollector> collector;
   VmHandle* handle = nullptr;
   workload::YcsbWorkload* ycsb = nullptr;  ///< Null when idle.
   std::unique_ptr<migration::MigrationManager> migration;
@@ -181,6 +191,11 @@ struct FleetOptions {
   wss::WssConfig wss = fleet_wss_defaults();
   std::uint32_t per_link_cap = 2;
   std::uint64_t seed = 42;
+  /// Record deterministic metrics snapshots every `stats_interval` (host /
+  /// VM / VMD / migration-health / orchestrator series); read them from
+  /// `Fleet::registry` after the run.
+  bool stats = false;
+  SimTime stats_interval = sec(1);
   /// Scaling benches: start VM i on host i % host_count instead of
   /// consolidating everyone on host 0, so per-host phase work is spread and
   /// lane scaling is visible. The default keeps the consolidated hotspot bed.
@@ -199,6 +214,10 @@ struct Fleet {
   std::vector<VmHandle*> handles;
   std::vector<workload::YcsbWorkload*> ycsbs;
   std::unique_ptr<MigrationOrchestrator> orchestrator;
+  /// Engaged when options.stats (declared after bed/orchestrator: the
+  /// collector is destroyed first, cancelling its scrape task).
+  std::unique_ptr<stats::Registry> registry;
+  std::unique_ptr<FleetStatsCollector> collector;
 
   /// Loads all datasets (simulated time 0; call before running), then
   /// schedules the hotspot step: at `hot_at` the first `hot_vms` clients

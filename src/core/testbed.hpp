@@ -134,6 +134,12 @@ class Testbed {
   std::vector<std::uint32_t> plan_lanes(std::size_t host_count,
                                         std::size_t lanes);
 
+  /// Live (constructed, not yet destroyed) migrations in registration order
+  /// — the deterministic iteration set for fleet health collection.
+  const std::vector<migration::MigrationManager*>& live_migrations() const {
+    return live_migrations_;
+  }
+
  private:
   /// Registers a migration in the lane-affinity registry; the manager
   /// deregisters itself on destruction (it must not outlive the Testbed).

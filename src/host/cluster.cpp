@@ -138,22 +138,24 @@ void Cluster::parallel_phase(SimTime now,
   lanes_->advance_to(now);
 }
 
+void Cluster::install_lane_plan() {
+  lanes_->ensure_channels(hosts_.size());
+  lanes_->set_plan(lane_planner_
+                       ? lane_planner_(hosts_.size(), lane_count_)
+                       : [&] {
+                           std::vector<std::uint32_t> plan(hosts_.size());
+                           for (std::size_t i = 0; i < plan.size(); ++i) {
+                             plan[i] = static_cast<std::uint32_t>(
+                                 i % lane_count_);
+                           }
+                           return plan;
+                         }());
+}
+
 void Cluster::quantum(SimTime now) {
   ++tick_index_;
   const SimTime dt = config_.quantum;
-  if (lanes_) {
-    lanes_->ensure_channels(hosts_.size());
-    lanes_->set_plan(lane_planner_
-                         ? lane_planner_(hosts_.size(), lane_count_)
-                         : [&] {
-                             std::vector<std::uint32_t> plan(hosts_.size());
-                             for (std::size_t i = 0; i < plan.size(); ++i) {
-                               plan[i] = static_cast<std::uint32_t>(
-                                   i % lane_count_);
-                             }
-                             return plan;
-                           }());
-  }
+  if (lanes_) install_lane_plan();
   const std::uint32_t tick = tick_index_;
   if (lanes_) {
     parallel_phase(now,
@@ -181,6 +183,34 @@ void Cluster::quantum(SimTime now) {
   }
   net_.advance(dt);
   run_hooks(observer_hooks_);
+}
+
+void Cluster::scrape(SimTime now, const ScrapePerHost& per_host,
+                     const ScrapeFinalize& finalize) {
+  if (lanes_) {
+    // The scrape may fire between quanta (interval not a multiple of the
+    // quantum) or before the first one, so install the plan itself rather
+    // than relying on the last quantum's.
+    install_lane_plan();
+    for (std::size_t h = 0; h < hosts_.size(); ++h) {
+      Host* host = hosts_[h].get();
+      lanes_->schedule(h, now, [&per_host, h, host] { per_host(h, *host); });
+    }
+    lanes_->advance_to(now);
+  } else {
+    for (std::size_t h = 0; h < hosts_.size(); ++h) per_host(h, *hosts_[h]);
+  }
+  if (finalize) finalize(now);
+}
+
+std::shared_ptr<sim::PeriodicTask> Cluster::start_scrape(
+    SimTime interval, ScrapePerHost per_host, ScrapeFinalize finalize) {
+  AGILE_CHECK(interval > 0);
+  return sim_.schedule_periodic(
+      interval, [this, per_host = std::move(per_host),
+                 finalize = std::move(finalize)](SimTime now) {
+        scrape(now, per_host, finalize);
+      });
 }
 
 void Cluster::run_until(SimTime t) {

@@ -106,6 +106,22 @@ class Cluster {
   std::uint64_t add_observer_hook(Hook hook);
   void remove_hook(std::uint64_t id);
 
+  /// Periodic metrics scrape. Every `interval`, `per_host(index, host)` runs
+  /// for each host — fanned across the event lanes exactly like a quantum
+  /// phase (lane-affine, deterministic merge order) — then `finalize(now)`
+  /// runs on the coordinator thread after the lane barrier joins. The scrape
+  /// event shares the quantum's timestamp ordering: the quantum task is
+  /// created first, so at a coinciding timestamp the scrape observes
+  /// post-quantum state. Cancel the returned task to stop scraping.
+  /// Per-host collection must only touch commutative `util::RelaxedCell`
+  /// state or cells written by exactly one host (single writer per window) —
+  /// the same contract every lane phase lives under.
+  using ScrapePerHost = std::function<void(std::size_t index, Host& host)>;
+  using ScrapeFinalize = std::function<void(SimTime now)>;
+  std::shared_ptr<sim::PeriodicTask> start_scrape(SimTime interval,
+                                                  ScrapePerHost per_host,
+                                                  ScrapeFinalize finalize);
+
   /// Runs the simulation until simulated time `t`.
   void run_until(SimTime t);
 
@@ -116,6 +132,11 @@ class Cluster {
   void quantum(SimTime now);
   /// Fans a per-host phase across the lanes and barriers at `now`.
   void parallel_phase(SimTime now, const std::function<void(Host&)>& phase);
+  /// Installs the current host→lane plan (planner or round-robin).
+  void install_lane_plan();
+  /// One scrape: per-host fan-out (lanes or sequential) + finalize.
+  void scrape(SimTime now, const ScrapePerHost& per_host,
+              const ScrapeFinalize& finalize);
 
   struct HookEntry {
     std::uint64_t id;

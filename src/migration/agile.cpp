@@ -22,6 +22,7 @@ void AgileMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     source_mem_->attach_dirty_log(&dirty_log_);
     cursor_ = 0;
     phase_ = Phase::kLiveRound;
+    set_phase(1, "live-round");
     AGILE_TRACE_SPAN_BEGIN("migration", "live_round", trace_id());
   }
   if (phase_ == Phase::kFlipWait) return;
@@ -249,9 +250,11 @@ void AgileMigration::end_live_round() {
         });
     if (on_switchover_) on_switchover_();
     phase_ = Phase::kPush;
+    set_phase(3, "push");
     maybe_finish();  // a write-free live round leaves nothing owed
   });
   phase_ = Phase::kFlipWait;
+  set_phase(2, "flip-wait");
 }
 
 void AgileMigration::apply_dirty_invalidations() {
@@ -363,6 +366,7 @@ void AgileMigration::maybe_finish() {
     received_.deep_audit();
   }
   phase_ = Phase::kDone;
+  set_phase(4, "done");
   AGILE_TRACE_SPAN_END("migration", "push", trace_id());
   params_.machine->clear_remote_fault_handler();
   // Reclaim what the source still holds: frames, swap-cache copies of pages

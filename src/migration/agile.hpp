@@ -44,6 +44,14 @@ class AgileMigration final : public MigrationManager {
     return dirty_total_ - received_.count();
   }
 
+  /// Live round: pages not yet scanned; after the flip: the dirty debt.
+  std::uint64_t pages_owed() const override {
+    if (phase_ == Phase::kInit || phase_ == Phase::kLiveRound) {
+      return page_count() - cursor_;
+    }
+    return dirty_remaining();
+  }
+
  protected:
   void on_tick(SimTime now, SimTime dt, std::uint32_t tick) override;
 

@@ -72,6 +72,30 @@ bool MigrationManager::zero_elidable(PageIndex p) const {
   return source_mem_->is_zero_page(p);
 }
 
+void MigrationManager::set_phase(int code, const char* name) {
+  if (phase_code_ == code) return;
+  phase_code_ = code;
+  phase_name_ = name;
+  AGILE_TRACE_INSTANT("migration", name, trace_id(),
+                      static_cast<double>(code));
+}
+
+stats::MigrationObservation MigrationManager::sample_health(
+    SimTime now) const {
+  stats::MigrationObservation obs;
+  obs.now = now;
+  obs.bytes_transferred = metrics_.bytes_transferred;
+  obs.pages_remote = dest_mem_ != nullptr ? dest_mem_->remote_pages()
+                                          : page_count();
+  obs.pages_owed = pages_owed();
+  obs.backlog_bytes = wire_backlog();
+  obs.wire_page_bytes = wire_page_bytes_;
+  obs.cpu_state_bytes = config_.cpu_state_bytes;
+  obs.switched_over = metrics_.switchover_time >= 0;
+  obs.downtime_usec = metrics_.downtime;
+  return obs;
+}
+
 MigrationManager::~MigrationManager() {
   if (on_destroy_) on_destroy_(this);
   if (hook_id_ != 0) cluster_->remove_hook(hook_id_);

@@ -21,6 +21,7 @@
 #include "host/cluster.hpp"
 #include "mem/pagemap.hpp"
 #include "migration/stream_group.hpp"
+#include "stats/health.hpp"
 #include "util/bitmap.hpp"
 
 namespace agile::migration {
@@ -128,6 +129,25 @@ class MigrationManager {
 
   virtual const char* technique() const = 0;
 
+  /// Engine phase for observability: a small engine-defined code plus a
+  /// stable human-readable name ("init", "live", "push", ...). Engines call
+  /// `set_phase` at every transition; the codes order monotonically within
+  /// one engine but are not comparable across techniques.
+  int phase_code() const { return phase_code_; }
+  const char* phase_name() const { return phase_name_; }
+
+  /// Pages the engine still owes the destination over the wire (dirty set /
+  /// unsent scan remainder — *not* cold pages served from the swap device).
+  /// Engines override with their own debt notion; 0 once done.
+  virtual std::uint64_t pages_owed() const = 0;
+
+  /// Unsent bytes queued on the wire stream group (0 before start()).
+  Bytes wire_backlog() const { return stream_ ? stream_->backlog() : 0; }
+
+  /// Snapshot of this migration's health inputs at simulated time `now`;
+  /// feed to a stats::MigrationHealthModel. Valid any time after start().
+  stats::MigrationObservation sample_health(SimTime now) const;
+
   vm::VirtualMachine* machine() const { return params_.machine; }
   host::Host* source_host() const { return params_.source; }
   host::Host* dest_host() const { return params_.dest; }
@@ -172,6 +192,9 @@ class MigrationManager {
   bool zero_elidable(PageIndex p) const;
   /// Trace entity id: the migrating VM's lane.
   std::uint64_t trace_id() const { return params_.machine->config().trace_id; }
+  /// Records a phase transition (see phase_code/phase_name). `name` must be
+  /// a string literal; also emits a trace instant on the migration track.
+  void set_phase(int code, const char* name);
 
   host::Cluster* cluster_;
   MigrationParams params_;
@@ -186,6 +209,8 @@ class MigrationManager {
 
  private:
   bool started_ = false;
+  int phase_code_ = 0;
+  const char* phase_name_ = "init";
   SimTime suspend_time_ = -1;
   std::uint64_t hook_id_ = 0;
   std::function<void()> on_complete_;

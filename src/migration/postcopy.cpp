@@ -24,8 +24,10 @@ void PostcopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
             return handle_fault(p, write, t);
           });
       phase_ = Phase::kPush;
+      set_phase(2, "push");
     });
     phase_ = Phase::kFlipWait;
+    set_phase(1, "flip-wait");
     return;
   }
   if (phase_ != Phase::kPush) return;
@@ -208,6 +210,7 @@ void PostcopyMigration::maybe_finish() {
     received_.deep_audit();
   }
   phase_ = Phase::kDone;
+  set_phase(3, "done");
   AGILE_TRACE_SPAN_END("migration", "push", trace_id());
   params_.machine->clear_remote_fault_handler();
   source_mem_->teardown(/*free_slots=*/true);

@@ -20,6 +20,11 @@ class PostcopyMigration final : public MigrationManager {
 
   const char* technique() const override { return "post-copy"; }
 
+  /// Everything the destination does not yet hold (push + demand debt).
+  std::uint64_t pages_owed() const override {
+    return page_count() - received_.count();
+  }
+
   /// Pages the destination received (for tests).
   std::uint64_t pages_received() const { return received_.count(); }
 

@@ -14,6 +14,7 @@ void PrecopyMigration::on_tick(SimTime, SimTime dt, std::uint32_t tick) {
     source_mem_->attach_dirty_log(&next_dirty_);
     round_ = 1;
     phase_ = Phase::kLive;
+    set_phase(1, "live");
     AGILE_TRACE_SPAN_BEGIN("migration", "round", trace_id(), 1);
   }
   if (phase_ == Phase::kAwaitResume) return;  // CPU state in flight
@@ -179,6 +180,7 @@ void PrecopyMigration::end_of_live_round() {
     next_dirty_.clear_all();
     cursor_ = 0;
     phase_ = Phase::kStopCopy;
+    set_phase(2, "stop-copy");
     AGILE_TRACE_SPAN_BEGIN("migration", "stop_copy", trace_id());
     return;
   }
@@ -191,6 +193,7 @@ void PrecopyMigration::end_of_live_round() {
 
 void PrecopyMigration::start_stop_copy() {
   phase_ = Phase::kAwaitResume;
+  set_phase(3, "await-resume");
   AGILE_TRACE_SPAN_END("migration", "stop_copy", trace_id());
   AGILE_TRACE_SPAN_BEGIN("migration", "await_resume", trace_id());
   metrics_.bytes_transferred += config_.cpu_state_bytes;

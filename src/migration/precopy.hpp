@@ -20,6 +20,12 @@ class PrecopyMigration final : public MigrationManager {
 
   const char* technique() const override { return "pre-copy"; }
 
+  /// This round's unsent dirty pages plus the dirty log accumulating for
+  /// the next round.
+  std::uint64_t pages_owed() const override {
+    return dirty_.count() + next_dirty_.count();
+  }
+
  protected:
   void on_tick(SimTime now, SimTime dt, std::uint32_t tick) override;
 

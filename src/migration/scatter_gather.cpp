@@ -40,8 +40,10 @@ void ScatterGatherMigration::on_tick(SimTime now, SimTime dt,
           });
       if (on_switchover_) on_switchover_();
       phase_ = Phase::kScatter;
+      set_phase(2, "scatter");
     });
     phase_ = Phase::kFlipWait;
+    set_phase(1, "flip-wait");
     return;
   }
   if (phase_ == Phase::kFlipWait || phase_ == Phase::kDone) return;
@@ -251,7 +253,8 @@ void ScatterGatherMigration::maybe_finish_scatter() {
   if (handled_.count() != page_count() || !stream_->idle()) {
     if (handled_.count() == page_count() && !stream_->idle() &&
         phase_ == Phase::kScatter) {
-      phase_ = Phase::kGatherOnly;  // descriptors still draining
+      phase_ = Phase::kGatherOnly;
+      set_phase(3, "gather");  // descriptors still draining
       AGILE_TRACE_SPAN_END("migration", "scatter", trace_id());
       AGILE_TRACE_SPAN_BEGIN("migration", "drain", trace_id());
     }
@@ -269,6 +272,7 @@ void ScatterGatherMigration::maybe_finish_scatter() {
       "migration", phase_ == Phase::kGatherOnly ? "drain" : "scatter",
       trace_id());
   phase_ = Phase::kDone;
+  set_phase(4, "done");
   scatter_done_ = cluster_->simulation().now();
   params_.machine->clear_remote_fault_handler();
   source_mem_->teardown(/*free_slots=*/true);

@@ -28,6 +28,11 @@ class ScatterGatherMigration final : public MigrationManager {
 
   const char* technique() const override { return "scatter-gather"; }
 
+  /// Pages the source still holds (not yet scattered or demand-resolved).
+  std::uint64_t pages_owed() const override {
+    return page_count() - handled_.count();
+  }
+
   /// Fired at the execution flip (re-attach the portable device, etc.).
   void set_on_switchover(std::function<void()> fn) {
     on_switchover_ = std::move(fn);

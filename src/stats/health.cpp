@@ -1,0 +1,66 @@
+#include "stats/health.hpp"
+
+namespace agile::stats {
+
+namespace {
+
+/// delta/dt scaled to per-second, in exact integer arithmetic.
+std::int64_t per_second(std::uint64_t delta, std::int64_t dt_usec) {
+  if (dt_usec <= 0) return 0;
+  return static_cast<std::int64_t>(delta * 1'000'000 /
+                                   static_cast<std::uint64_t>(dt_usec));
+}
+
+}  // namespace
+
+MigrationHealth MigrationHealthModel::update(const MigrationObservation& obs) {
+  if (!primed_) {
+    primed_ = true;
+    prev_ = obs;
+    health_ = MigrationHealth{};
+    if (obs.switched_over) health_.projected_downtime_usec = obs.downtime_usec;
+    return health_;
+  }
+  const std::int64_t dt = obs.now - prev_.now;
+  const std::uint64_t wire_delta =
+      obs.bytes_transferred >= prev_.bytes_transferred
+          ? obs.bytes_transferred - prev_.bytes_transferred
+          : 0;
+  health_.transfer_rate_bps = per_second(wire_delta, dt);
+  // Page debt drains when owed pages go down; a dirtying burst can push it
+  // back up, in which case the drain rate for the window is 0 (the ETA goes
+  // unknown rather than negative).
+  const std::uint64_t owed_drop =
+      prev_.pages_owed > obs.pages_owed ? prev_.pages_owed - obs.pages_owed : 0;
+  health_.page_drain_rate = per_second(owed_drop, dt) ;
+  if (obs.switched_over) {
+    health_.projected_downtime_usec = obs.downtime_usec;
+  } else if (health_.transfer_rate_bps > 0) {
+    // Stop-and-copy model: what is still owed must cross the wire while the
+    // VM is suspended, plus the CPU-state blob.
+    const std::uint64_t stop_copy_bytes =
+        obs.pages_owed * obs.wire_page_bytes + obs.cpu_state_bytes;
+    health_.projected_downtime_usec = static_cast<std::int64_t>(
+        stop_copy_bytes * 1'000'000 /
+        static_cast<std::uint64_t>(health_.transfer_rate_bps));
+  } else {
+    health_.projected_downtime_usec = -1;
+  }
+  // ETA: remaining wire work (owed pages + queued backlog) at the observed
+  // transfer rate. Remote pages that are merely *cold* (postcopy serves them
+  // on demand) are not counted as wire debt — pages_owed is the engine's own
+  // notion of what it still must push.
+  if (health_.transfer_rate_bps > 0) {
+    const std::uint64_t remaining_bytes =
+        obs.pages_owed * obs.wire_page_bytes + obs.backlog_bytes;
+    health_.eta_usec = static_cast<std::int64_t>(
+        remaining_bytes * 1'000'000 /
+        static_cast<std::uint64_t>(health_.transfer_rate_bps));
+  } else {
+    health_.eta_usec = -1;
+  }
+  prev_ = obs;
+  return health_;
+}
+
+}  // namespace agile::stats

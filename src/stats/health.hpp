@@ -1,0 +1,52 @@
+// Per-migration health model.
+//
+// Pure integer arithmetic over periodic observations of one migration:
+// windowed transfer/dirty/push rates, a model-derived ETA (time until the
+// remaining page debt drains at the observed push rate) and a projected
+// downtime (the stop-and-copy cost of what is still owed at switchover).
+// Deterministic by construction — every input is simulated state, every
+// output an integer function of the observation sequence — so health gauges
+// can be exported in golden stats snapshots.
+#pragma once
+
+#include <cstdint>
+
+namespace agile::stats {
+
+/// One scrape-interval sample of a migration, taken from the engine's own
+/// accounting (see MigrationManager::sample_health).
+struct MigrationObservation {
+  std::int64_t now = 0;                 ///< Simulated µs.
+  std::uint64_t bytes_transferred = 0;  ///< Cumulative wire bytes.
+  std::uint64_t pages_remote = 0;       ///< Dest pages still remote.
+  std::uint64_t pages_owed = 0;         ///< Engine's page debt (dirty/queue).
+  std::uint64_t backlog_bytes = 0;      ///< Unsent bytes queued on the wire.
+  std::uint64_t wire_page_bytes = 0;    ///< Wire size of one full page.
+  std::uint64_t cpu_state_bytes = 0;    ///< Switchover CPU-state blob.
+  bool switched_over = false;
+  std::int64_t downtime_usec = 0;       ///< Actual, once known.
+};
+
+/// Windowed rates and projections derived from successive observations.
+struct MigrationHealth {
+  std::int64_t transfer_rate_bps = 0;   ///< Wire bytes/s over the last window.
+  std::int64_t page_drain_rate = 0;     ///< Pages of debt retired per second.
+  std::int64_t eta_usec = -1;           ///< Projected time to drain; -1 unknown.
+  std::int64_t projected_downtime_usec = -1;  ///< Model (or actual once known).
+};
+
+class MigrationHealthModel {
+ public:
+  /// Feeds the next observation; returns the updated health. The first call
+  /// establishes the window origin (rates stay 0, ETA unknown).
+  MigrationHealth update(const MigrationObservation& obs);
+
+  const MigrationHealth& health() const { return health_; }
+
+ private:
+  bool primed_ = false;
+  MigrationObservation prev_;
+  MigrationHealth health_;
+};
+
+}  // namespace agile::stats

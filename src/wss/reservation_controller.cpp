@@ -118,6 +118,13 @@ void ReservationController::on_interval(SimTime now) {
 
   series_.add(to_seconds(now), static_cast<double>(reservation));
   rate_series_.add(to_seconds(now), rate);
+  if (stats_estimate_ != nullptr) {
+    stats_estimate_->set(static_cast<std::int64_t>(reservation));
+  }
+  if (stats_adjustments_ != nullptr) stats_adjustments_->inc();
+  if (stats_swap_rate_ != nullptr) {
+    stats_swap_rate_->observe(static_cast<std::int64_t>(rate));
+  }
 }
 
 }  // namespace agile::wss

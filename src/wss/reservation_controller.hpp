@@ -17,6 +17,7 @@
 
 #include "host/cluster.hpp"
 #include "metrics/timeseries.hpp"
+#include "stats/stats.hpp"
 #include "vm/virtual_machine.hpp"
 
 namespace agile::wss {
@@ -64,6 +65,17 @@ class ReservationController {
 
   std::uint64_t adjustments() const { return adjustments_; }
 
+  /// Binds stats cells updated at every adjustment: the current estimate
+  /// (gauge, bytes), the adjustment count (counter), and the observed
+  /// swap-in rate distribution (histogram, bytes/s). Any pointer may be
+  /// null; the caller owns the cells (typically a stats::Registry).
+  void bind_stats(stats::Gauge* estimate, stats::Counter* adjustments,
+                  stats::Histogram* swap_rate) {
+    stats_estimate_ = estimate;
+    stats_adjustments_ = adjustments;
+    stats_swap_rate_ = swap_rate;
+  }
+
   /// Reservation over time (simulated seconds) — Figure 9's main series.
   const metrics::TimeSeries& reservation_series() const { return series_; }
   /// Observed swap rate (bytes/s) at each adjustment.
@@ -81,6 +93,9 @@ class ReservationController {
   std::vector<Bytes> recent_;  ///< Ring of the last `stability_window` values.
   std::uint32_t high_streak_ = 0;
   std::uint64_t adjustments_ = 0;
+  stats::Gauge* stats_estimate_ = nullptr;
+  stats::Counter* stats_adjustments_ = nullptr;
+  stats::Histogram* stats_swap_rate_ = nullptr;
   metrics::TimeSeries series_{"reservation_bytes"};
   metrics::TimeSeries rate_series_{"swap_rate_bps"};
 };

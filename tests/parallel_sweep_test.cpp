@@ -191,5 +191,18 @@ TEST(ParallelSweep, SingleVmPointDeterministicAcrossScheduling) {
   }
 }
 
+// A cache store that cannot open its file must warn on stderr — the result
+// silently not being cached is acceptable, the silence is not (see the
+// matching stats-export warning test in stats_test.cpp).
+TEST(RunCache, StoreFailureWarnsInsteadOfSilentlyDropping) {
+  CachedRun r;
+  r.migration.completed = true;
+  testing::internal::CaptureStderr();
+  store_cached("nosuchdir/key", r);  // out_dir()/cache_nosuchdir/ is absent
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("bench cache: cannot write"), std::string::npos);
+  EXPECT_NE(err.find("result not cached"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace agile::bench

@@ -80,8 +80,11 @@ TOOL_VERSION = "1.0"
 # Directories whose code is lane-rule-scoped (LL001-LL003). bench/ is
 # deliberately outside: each sweep task owns its entire Simulation, so the
 # lane rules (which police tasks *sharing* one simulation) do not apply —
-# see bench/parallel_sweep.hpp.
-SCAN_DIRS = ("src/sim", "src/host", "src/core")
+# see bench/parallel_sweep.hpp. src/stats is in scope because the cluster's
+# periodic scrape fans per-host metric collection across the lanes: stats
+# cells are written from lane context, so the module is subject to the same
+# confinement contract as the lane runtime itself.
+SCAN_DIRS = ("src/sim", "src/host", "src/core", "src/stats")
 
 # Entry points whose directly-passed lambdas become call-graph roots, with
 # the execution context the lambda runs in. `schedule` is only an entry
@@ -122,6 +125,15 @@ REGISTRY = (
     ("src/net/network.hpp", "Node", "background_rx"),
     ("src/vmd/vmd.hpp", "VmdServer", "memory_pages_"),
     ("src/vmd/vmd.hpp", "VmdServer", "disk_pages_"),
+    # The stats registry's value cells: lane events bump them concurrently
+    # during the scrape fan-out, so golden stats snapshots are only
+    # lane-count-independent while every cell stays a commutative
+    # RelaxedCell (stats.hpp documents the contract at each member).
+    ("src/stats/stats.hpp", "Counter", "v_"),
+    ("src/stats/stats.hpp", "Gauge", "v_"),
+    ("src/stats/stats.hpp", "Histogram", "buckets_"),
+    ("src/stats/stats.hpp", "Histogram", "count_"),
+    ("src/stats/stats.hpp", "Histogram", "sum_"),
 )
 
 RULE_TITLES = {
@@ -137,7 +149,9 @@ CPP_KEYWORDS = {
     "static_assert", "co_return", "co_await", "co_yield",
 }
 
-TYPE_CHAIN_TOKENS = {"::", "<", ">", ",", "*", "&", "(", ")"}
+# ">>" appears when nested templates close without a space, e.g.
+# std::vector<util::RelaxedCell<std::uint64_t>> (stats.hpp's bucket array).
+TYPE_CHAIN_TOKENS = {"::", "<", ">", ">>", ",", "*", "&", "(", ")"}
 
 
 # ---------------------------------------------------------------------------

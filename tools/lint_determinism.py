@@ -19,9 +19,9 @@ contract:
                structs are aggregate-built and memcmp'd/serialized, so an
                unwritten member leaks indeterminate bytes.
 
-src/trace/, src/sim/, src/host/, src/core/ and the multi-stream wire module
-(src/migration/wire.* and stream_group.*) get a stricter zero-tolerance
-profile on top of the above: trace exports, the event core (heap + sharded
+src/trace/, src/sim/, src/host/, src/core/, src/stats/ and the multi-stream
+wire module (src/migration/wire.* and stream_group.*) get a stricter
+zero-tolerance profile on top of the above: trace exports, the event core (heap + sharded
 lanes — execution order must be identical at every lane count), the cluster
 orchestration layer and the scenario/testbed layer drive everything the
 golden tests pin byte-for-byte, so these modules may not even *include*
@@ -109,6 +109,10 @@ HOST_STRICT = strict_rules("host")
 # Scenario factories and the testbed: they *construct* the deterministic
 # world, so any ambient input here skews every golden table downstream.
 CORE_STRICT = strict_rules("core")
+# The metrics registry: golden stats snapshots are byte-compared across lane
+# counts, job counts and reruns, so the module may not read wall clocks, the
+# environment, or order anything by hash.
+STATS_STRICT = strict_rules("stats")
 
 
 def in_trace_module(relpath):
@@ -125,6 +129,10 @@ def in_host_module(relpath):
 
 def in_core_module(relpath):
     return relpath.startswith("src" + os.sep + "core" + os.sep)
+
+
+def in_stats_module(relpath):
+    return relpath.startswith("src" + os.sep + "stats" + os.sep)
 
 
 def in_wire_module(relpath):
@@ -238,6 +246,10 @@ def scan_file(relpath, allow):
                     report(msg)
         if in_core_module(relpath):
             for pat, msg in CORE_STRICT:
+                if pat.search(line):
+                    report(msg)
+        if in_stats_module(relpath):
+            for pat, msg in STATS_STRICT:
                 if pat.search(line):
                     report(msg)
         if in_wire_module(relpath):

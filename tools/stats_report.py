@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Summarize and diff stats snapshot JSON files produced by agile::stats.
+
+Usage:
+    stats_report.py summarize STATS.json          per-series value stats
+    stats_report.py diff A.json B.json            compare two stats exports
+    stats_report.py --self-test                   run built-in checks
+
+A stats export is {"series": [...], "snapshots": [...]} (see
+src/stats/stats.hpp): `series` describes each registered metric (name, kind,
+labels, histogram bounds) in registration order, and every snapshot carries a
+`values` array aligned to that order by position. Metrics registered *after*
+a snapshot was taken simply have no entry in the earlier rows — rows are
+prefixes of the series list, so alignment by index is exact.
+
+`summarize` reports, per series: sample count, min/max/final for scalars;
+final count, final sum and the final per-bucket distribution for histograms.
+`diff` reports series present on only one side and series whose sample count
+or final value moved — the quick way to see what a code change did to a
+fleet's health trajectory.
+
+Stdlib only; exit status 0 on success (diff: 0 even when different, it is a
+report, not a gate), 2 on usage or parse errors.
+"""
+
+import json
+import sys
+
+
+def load_doc(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc.get("series"), list):
+        raise ValueError(f"{path}: no series array")
+    if not isinstance(doc.get("snapshots"), list):
+        raise ValueError(f"{path}: no snapshots array")
+    return doc
+
+
+def series_label(s):
+    """`name{k="v",...}` matching the registry's canonical series key."""
+    labels = s.get("labels") or {}
+    if not labels:
+        return s.get("name", "?")
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return f"{s.get('name', '?')}{{{inner}}}"
+
+
+class Summary:
+    """Aggregated stats keyed by series label, in registration order."""
+
+    def __init__(self):
+        self.order = []      # labels in series order
+        self.scalars = {}    # label -> {"kind", "samples", "min", "max",
+                             #           "final"}
+        self.histograms = {} # label -> {"samples", "count", "sum",
+                             #           "buckets": [(edge, n), ...]}
+        self.snapshots = 0
+        self.t_first = None
+        self.t_last = None
+
+
+def summarize(doc):
+    series = doc["series"]
+    snaps = doc["snapshots"]
+    s = Summary()
+    s.snapshots = len(snaps)
+    if snaps:
+        s.t_first = snaps[0].get("t_usec", 0)
+        s.t_last = snaps[-1].get("t_usec", 0)
+    for i, meta in enumerate(series):
+        label = series_label(meta)
+        kind = meta.get("kind", "?")
+        s.order.append(label)
+        # Rows are prefixes of the series list: collect column i where
+        # present. A snapshot taken before this series registered simply
+        # has a shorter row.
+        column = [snap["values"][i] for snap in snaps
+                  if i < len(snap.get("values", []))]
+        if kind == "histogram":
+            bounds = meta.get("bounds", [])
+            rec = {"samples": len(column), "count": 0, "sum": 0,
+                   "buckets": []}
+            if column:
+                row = column[-1]  # cumulative buckets..., count, sum
+                cumulative, count, total = row[:-2], row[-2], row[-1]
+                rec["count"], rec["sum"] = count, total
+                prev = 0
+                for b, cum in enumerate(cumulative):
+                    edge = str(bounds[b]) if b < len(bounds) else "+Inf"
+                    rec["buckets"].append((edge, cum - prev))
+                    prev = cum
+            s.histograms[label] = rec
+        else:
+            vals = [v for v in column]
+            rec = {"kind": kind, "samples": len(vals)}
+            if vals:
+                rec.update(min=min(vals), max=max(vals), final=vals[-1])
+            else:
+                rec.update(min=0, max=0, final=0)
+            s.scalars[label] = rec
+    return s
+
+
+def print_summary(s):
+    span = ""
+    if s.snapshots:
+        span = (f" spanning {s.t_first / 1e6:.3f}s .. "
+                f"{s.t_last / 1e6:.3f}s sim time")
+    print(f"{len(s.order)} series, {s.snapshots} snapshot(s){span}")
+    if s.scalars:
+        print("  scalars (series, kind, samples, min/max/final):")
+        for label in s.order:
+            rec = s.scalars.get(label)
+            if rec is None:
+                continue
+            print(f"    {label:<44} {rec['kind']:<9} {rec['samples']:>5} "
+                  f"{rec['min']:>14} {rec['max']:>14} {rec['final']:>14}")
+    if s.histograms:
+        print("  histograms (series, samples, final count/sum, buckets):")
+        for label in s.order:
+            rec = s.histograms.get(label)
+            if rec is None:
+                continue
+            print(f"    {label:<44} {rec['samples']:>5} "
+                  f"count={rec['count']} sum={rec['sum']}")
+            for edge, n in rec["buckets"]:
+                if n:
+                    print(f"        le {edge:>12}: {n}")
+
+
+def diff_summaries(a, b):
+    """Returns a list of human-readable difference lines (empty if equal)."""
+    lines = []
+    if a.snapshots != b.snapshots:
+        lines.append(f"snapshots: {a.snapshots} -> {b.snapshots}")
+    order = list(a.order) + [k for k in b.order if k not in set(a.order)]
+    for label in order:
+        sa, sb = a.scalars.get(label), b.scalars.get(label)
+        ha, hb = a.histograms.get(label), b.histograms.get(label)
+        if (sa or ha) and not (sb or hb):
+            lines.append(f"series {label}: only in A")
+            continue
+        if (sb or hb) and not (sa or ha):
+            lines.append(f"series {label}: only in B")
+            continue
+        if sa is not None and sb is not None and sa != sb:
+            lines.append(
+                f"scalar {label}: samples {sa['samples']} -> "
+                f"{sb['samples']}, final {sa['final']} -> {sb['final']}")
+        if ha is not None and hb is not None and ha != hb:
+            lines.append(
+                f"histogram {label}: count {ha['count']} -> {hb['count']}, "
+                f"sum {ha['sum']} -> {hb['sum']}")
+    return lines
+
+
+def self_test():
+    doc = {
+        "series": [
+            {"name": "pages_total", "kind": "counter",
+             "labels": {"vm": "a"}},
+            {"name": "free_ram", "kind": "gauge", "labels": {}},
+            {"name": "rtt", "kind": "histogram", "labels": {},
+             "bounds": [10, 100]},
+            {"name": "late_metric", "kind": "gauge", "labels": {}},
+        ],
+        "snapshots": [
+            # late_metric not yet registered: row is a 3-entry prefix.
+            {"t_usec": 1000000, "values": [5, -2, [1, 3, 4, 4, 130]]},
+            {"t_usec": 2000000, "values": [9, 7, [2, 5, 7, 7, 660], 42]},
+        ],
+    }
+    s = summarize(doc)
+    assert s.snapshots == 2 and s.t_first == 1000000 and \
+        s.t_last == 2000000, (s.snapshots, s.t_first, s.t_last)
+    pages = s.scalars['pages_total{vm="a"}']
+    assert pages == {"kind": "counter", "samples": 2, "min": 5, "max": 9,
+                     "final": 9}, pages
+    free = s.scalars["free_ram"]
+    assert free["min"] == -2 and free["final"] == 7, free
+    late = s.scalars["late_metric"]
+    assert late == {"kind": "gauge", "samples": 1, "min": 42, "max": 42,
+                    "final": 42}, late
+    rtt = s.histograms["rtt"]
+    assert rtt["samples"] == 2 and rtt["count"] == 7 and \
+        rtt["sum"] == 660, rtt
+    # Final row [2, 5, 7] cumulative -> per-bucket 2, 3, 2.
+    assert rtt["buckets"] == [("10", 2), ("100", 3), ("+Inf", 2)], \
+        rtt["buckets"]
+
+    # Identical docs diff clean.
+    assert diff_summaries(s, summarize(json.loads(json.dumps(doc)))) == []
+
+    # A counter drift, a dropped series and a histogram drift all surface.
+    doc_b = json.loads(json.dumps(doc))
+    doc_b["snapshots"][1]["values"][0] = 11              # counter final moves
+    doc_b["snapshots"][1]["values"][2] = [2, 5, 9, 9, 900]  # histogram moves
+    doc_b["series"].pop()                                # late_metric gone
+    for snap in doc_b["snapshots"]:
+        snap["values"] = snap["values"][:3]
+    delta = diff_summaries(s, summarize(doc_b))
+    assert len(delta) == 3, delta
+    assert any('scalar pages_total{vm="a"}' in d for d in delta), delta
+    assert any("series late_metric: only in A" in d for d in delta), delta
+    assert any("histogram rtt" in d for d in delta), delta
+
+    # An empty export (no snapshots yet) summarizes without error.
+    empty = summarize({"series": doc["series"], "snapshots": []})
+    assert empty.snapshots == 0
+    assert empty.scalars["free_ram"]["samples"] == 0
+
+    print("stats_report self-test: OK")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) == 3 and argv[1] == "summarize":
+        print_summary(summarize(load_doc(argv[2])))
+        return 0
+    if len(argv) == 4 and argv[1] == "diff":
+        a = summarize(load_doc(argv[2]))
+        b = summarize(load_doc(argv[3]))
+        delta = diff_summaries(a, b)
+        if not delta:
+            print("stats exports are equivalent (summary level)")
+        else:
+            for line in delta:
+                print(line)
+        return 0
+    sys.stderr.write(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        sys.stderr.write(f"stats_report: {err}\n")
+        sys.exit(2)

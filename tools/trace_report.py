@@ -3,6 +3,8 @@
 
 Usage:
     trace_report.py summarize TRACE.json          per-track span/counter stats
+    trace_report.py counters TRACE.json           counter tracks only, grouped
+                                                  by component (process/thread)
     trace_report.py diff A.json B.json            compare two traces
     trace_report.py --self-test                   run built-in checks
 
@@ -124,6 +126,35 @@ def print_summary(s):
             print(f"    {track}/{name:<24} {rec['count']:>6}")
 
 
+def counter_table(s):
+    """Counter tracks grouped by component: [(track, [(name, rec), ...])].
+
+    The track label is the process/thread pair the trace names the counter
+    under — one component (a VM, a host NIC, the orchestrator) per track —
+    so the grouping reads as a per-component health table.
+    """
+    by_track = {}
+    for (track, name), rec in sorted(s.counters.items()):
+        by_track.setdefault(track, []).append((name, rec))
+    return sorted(by_track.items())
+
+
+def print_counters(s):
+    table = counter_table(s)
+    if not table:
+        print("no counter events")
+        return
+    total = sum(len(rows) for _, rows in table)
+    print(f"{total} counter track(s) across {len(table)} component(s)")
+    for track, rows in table:
+        print(f"  {track}:")
+        print(f"    {'name':<28} {'samples':>8} {'min':>14} {'max':>14} "
+              f"{'final':>14}")
+        for name, rec in rows:
+            print(f"    {name:<28} {rec['count']:>8} {rec['min']:>14.0f} "
+                  f"{rec['max']:>14.0f} {rec['last']:>14.0f}")
+
+
 def diff_summaries(a, b):
     """Returns a list of human-readable difference lines (empty if equal)."""
     lines = []
@@ -217,6 +248,19 @@ def self_test():
     lonely = summarize(meta + [ev("E", "x", 5), ev("B", "y", 7)])
     assert lonely.unmatched == 2, lonely.unmatched
 
+    # Counter mode: tracks group by component, stats match the summary's.
+    multi = summarize(trace_a + [
+        ev("C", "backlog", 300, value=20),
+        ev("C", "free_ram", 100, pid=2, tid=1, value=1000),
+    ])
+    table = counter_table(multi)
+    assert [track for track, _ in table] == ["2/1", "vm0/migration"], table
+    rows = dict(table)["vm0/migration"]
+    assert rows == [("backlog",
+                     {"count": 3, "min": 10, "max": 30, "last": 20})], rows
+    assert dict(table)["2/1"][0][0] == "free_ram", table
+    assert counter_table(summarize(meta)) == []
+
     print("trace_report self-test: OK")
     return 0
 
@@ -226,6 +270,9 @@ def main(argv):
         return self_test()
     if len(argv) == 3 and argv[1] == "summarize":
         print_summary(summarize(load_events(argv[2])))
+        return 0
+    if len(argv) == 3 and argv[1] in ("counters", "--counters"):
+        print_counters(summarize(load_events(argv[2])))
         return 0
     if len(argv) == 4 and argv[1] == "diff":
         a = summarize(load_events(argv[2]))
