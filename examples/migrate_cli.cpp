@@ -30,6 +30,12 @@
 //   --vms=N            fleet VM count                    (default 6)
 //   --hot=N            VMs whose working set widens      (default 3)
 //   --duration=S       fleet simulated seconds           (default 400)
+//   --topology=flat|leaf-spine   fleet network shape     (default flat)
+//   --racks=N          leaf-spine rack count; implies --topology=leaf-spine
+//                      (default 4 when leaf-spine; hosts must divide evenly)
+//   --oversub=F        leaf-spine core oversubscription  (default 4)
+//   --rebalance        run the FleetRebalancer alongside the orchestrator
+//                      (MongoDB-style rounds; prints the round audit log)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -64,7 +70,8 @@ int usage(const char* argv0) {
                "          [--stats-out=FILE] [--stats-interval=N]\n"
                "          [--watermark-high=F] [--watermark-low=F]\n"
                "          [--fleet] [--hosts=N] [--vms=N] [--hot=N]\n"
-               "          [--duration=S]\n",
+               "          [--duration=S] [--topology=flat|leaf-spine]\n"
+               "          [--racks=N] [--oversub=F] [--rebalance]\n",
                argv0);
   return 2;
 }
@@ -94,6 +101,20 @@ int run_fleet(core::scenarios::FleetOptions opt, double duration_s,
               to_mib(opt.hot_active), to_seconds(opt.hot_at),
               core::technique_name(opt.technique), opt.watermarks.high,
               opt.watermarks.low);
+  if (opt.racks > 0) {
+    std::printf("Topology: leaf-spine, %u racks x %u hosts, %.1f:1 core "
+                "oversubscription, rack-aware placement\n",
+                opt.racks, opt.host_count / opt.racks, opt.oversubscription);
+  } else {
+    std::printf("Topology: flat (single non-blocking switch)\n");
+  }
+  if (opt.rebalance) {
+    std::printf("Rebalancer: rounds every %.0fs, <=%u moves/round, "
+                "imbalance threshold %.2f\n",
+                to_seconds(opt.rebalancer_config.round_interval),
+                opt.rebalancer_config.max_moves_per_round,
+                opt.rebalancer_config.imbalance_threshold);
+  }
   fleet.load_all();
   fleet.orchestrator->set_on_migration(
       [&](core::VmHandle* victim, host::Host* dest) {
@@ -103,7 +124,9 @@ int run_fleet(core::scenarios::FleetOptions opt, double duration_s,
                     to_mib(fleet.orchestrator->wss_estimate(victim)));
       });
   fleet.orchestrator->start();
+  if (fleet.rebalancer != nullptr) fleet.rebalancer->start();
   bed.cluster().run_for_seconds(duration_s);
+  if (fleet.rebalancer != nullptr) fleet.rebalancer->stop();
   fleet.orchestrator->stop();
 
   std::printf("\nDecisions:\n");
@@ -117,6 +140,23 @@ int run_fleet(core::scenarios::FleetOptions opt, double duration_s,
     for (const core::FleetLaunch& l : d.launches) {
       std::printf("          %s -> %s (%.0f MiB reserved)\n", l.vm.c_str(),
                   l.dest.c_str(), to_mib(l.reserved_wss));
+    }
+  }
+
+  if (fleet.rebalancer != nullptr) {
+    std::printf("\nRebalancer rounds:\n");
+    for (const core::RebalanceRound& r : fleet.rebalancer->rounds()) {
+      std::printf("  t=%5.0fs round %u: load %lld/%lld millis, %zu move(s), "
+                  "%u throttled%s\n",
+                  to_seconds(r.time), r.index,
+                  static_cast<long long>(r.max_load_millis),
+                  static_cast<long long>(r.min_load_millis), r.moves.size(),
+                  r.throttled, r.balanced ? " [balanced]" : "");
+      for (const core::RebalanceMove& m : r.moves) {
+        std::printf("          %s %s -> %s (%.0f MiB)%s\n", m.vm.c_str(),
+                    m.from.c_str(), m.to.c_str(), to_mib(m.wss),
+                    m.swap ? " [swap]" : "");
+      }
     }
   }
 
@@ -163,6 +203,9 @@ int main(int argc, char** argv) {
   migration::Compression compression = migration::Compression::kOff;
   double zero_fraction = 0.0;
   bool busy = false, timeline = false, fleet = false;
+  bool leaf_spine = false, rebalance = false;
+  std::uint32_t racks = 0;  // 0: default (4) when --topology=leaf-spine
+  double oversub = 4.0;
   std::string trace_out;
   std::string stats_out;
   double stats_interval_s = 1.0;
@@ -222,6 +265,23 @@ int main(int argc, char** argv) {
       fleet_hot = static_cast<std::uint32_t>(std::stoul(v));
     } else if (parse_flag(argv[i], "duration", &v)) {
       duration_s = std::stod(v);
+    } else if (parse_flag(argv[i], "topology", &v)) {
+      if (v == "flat") {
+        leaf_spine = false;
+      } else if (v == "leaf-spine") {
+        leaf_spine = true;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (parse_flag(argv[i], "racks", &v)) {
+      racks = static_cast<std::uint32_t>(std::stoul(v));
+      if (racks == 0) return usage(argv[0]);
+      leaf_spine = true;
+    } else if (parse_flag(argv[i], "oversub", &v)) {
+      oversub = std::stod(v);
+      if (!(oversub > 0)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--rebalance") == 0) {
+      rebalance = true;
     } else if (std::strcmp(argv[i], "--busy") == 0) {
       busy = true;
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
@@ -254,7 +314,27 @@ int main(int argc, char** argv) {
     fopt.seed = seed;
     fopt.stats = !stats_out.empty();
     fopt.stats_interval = sec(stats_interval_s);
+    if (leaf_spine) {
+      if (racks == 0) racks = 4;
+      if (fleet_hosts % racks != 0) {
+        std::fprintf(stderr, "--hosts=%u must divide evenly into --racks=%u\n",
+                     fleet_hosts, racks);
+        return 2;
+      }
+      fopt.racks = racks;
+      fopt.oversubscription = oversub;
+      // On a rack fabric, both the orchestrator's victim placement and the
+      // rebalancer prefer same-rack destinations.
+      fopt.rack_aware_placement = true;
+      fopt.rebalancer_config.rack_aware = true;
+    }
+    fopt.rebalance = rebalance;
     return run_fleet(fopt, duration_s, stats_out);
+  }
+  if (leaf_spine || rebalance) {
+    std::fprintf(stderr, "--topology/--racks/--oversub/--rebalance require "
+                         "--fleet\n");
+    return 2;
   }
 
   if (vm_gb <= 0.1 || host_gb <= 0.6) {

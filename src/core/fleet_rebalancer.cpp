@@ -1,0 +1,305 @@
+#include "core/fleet_rebalancer.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace agile::core {
+
+namespace {
+
+double load_of(const RebalanceHostState& host) {
+  if (host.ram == 0) return 0.0;
+  return static_cast<double>(host.committed) / static_cast<double>(host.ram);
+}
+
+Bytes admission_limit(const RebalanceHostState& host, double low_watermark) {
+  return static_cast<Bytes>(low_watermark * static_cast<double>(host.ram));
+}
+
+}  // namespace
+
+std::vector<RebalanceProposal> plan_rebalance_round(
+    std::vector<RebalanceHostState> hosts, std::vector<RebalanceVmState> vms,
+    const FleetRebalancerConfig& config, double low_watermark) {
+  AGILE_CHECK(low_watermark > 0 && low_watermark <= 1.0);
+  AGILE_CHECK(config.imbalance_threshold >= 0);
+  for (const RebalanceVmState& vm : vms) AGILE_CHECK(vm.host < hosts.size());
+
+  std::vector<RebalanceProposal> proposals;
+  std::size_t budget = config.max_moves_per_round;
+
+  auto has_movable = [&](std::size_t h) {
+    for (const RebalanceVmState& vm : vms) {
+      if (vm.movable && vm.host == h) return true;
+    }
+    return false;
+  };
+  // Peak strictly narrows: neither end of the move may end up as loaded as
+  // the source was (otherwise rounds could oscillate a VM back and forth).
+  auto improves = [&](std::size_t src, std::size_t dst, Bytes src_after,
+                      Bytes dst_after) {
+    double peak_before = load_of(hosts[src]);
+    RebalanceHostState s = hosts[src];
+    s.committed = src_after;
+    RebalanceHostState d = hosts[dst];
+    d.committed = dst_after;
+    return std::max(load_of(s), load_of(d)) < peak_before;
+  };
+  // Smallest movable VM of `src` whose direct move to `dst` is admissible
+  // under the low watermark and narrows the peak (ties: lowest index).
+  auto pick_direct = [&](std::size_t src, std::size_t dst) {
+    std::size_t best = kNoVm;
+    for (std::size_t v = 0; v < vms.size(); ++v) {
+      if (!vms[v].movable || vms[v].host != src) continue;
+      Bytes wss = vms[v].wss;
+      if (wss == 0 || wss > hosts[src].committed) continue;
+      if (hosts[dst].committed + wss > admission_limit(hosts[dst], low_watermark))
+        continue;
+      if (!improves(src, dst, hosts[src].committed - wss,
+                    hosts[dst].committed + wss))
+        continue;
+      if (best == kNoVm || wss < vms[best].wss) best = v;
+    }
+    return best;
+  };
+
+  while (budget > 0) {
+    // Most loaded host that still has something to move.
+    std::size_t src = kNoVm;
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      if (!has_movable(h)) continue;
+      if (src == kNoVm || load_of(hosts[h]) > load_of(hosts[src])) src = h;
+    }
+    if (src == kNoVm) break;
+    // Least loaded host overall (the gap that defines imbalance).
+    std::size_t coolest = kNoVm;
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      if (h == src) continue;
+      if (coolest == kNoVm || load_of(hosts[h]) < load_of(hosts[coolest]))
+        coolest = h;
+    }
+    if (coolest == kNoVm) break;
+    if (load_of(hosts[src]) - load_of(hosts[coolest]) <
+        config.imbalance_threshold)
+      break;
+
+    // Destination preference: with rack awareness, the least loaded host of
+    // the source's own rack gets first refusal (keeps the move off the
+    // oversubscribed core); the fleet-wide coolest host is the fallback.
+    std::vector<std::size_t> dests;
+    if (config.rack_aware) {
+      std::size_t local = kNoVm;
+      for (std::size_t h = 0; h < hosts.size(); ++h) {
+        if (h == src || hosts[h].rack != hosts[src].rack) continue;
+        if (local == kNoVm || load_of(hosts[h]) < load_of(hosts[local]))
+          local = h;
+      }
+      if (local != kNoVm && local != coolest) dests.push_back(local);
+    }
+    dests.push_back(coolest);
+
+    bool placed = false;
+    for (std::size_t dst : dests) {
+      std::size_t vm = pick_direct(src, dst);
+      if (vm == kNoVm) continue;
+      proposals.push_back({vm, dst, kNoVm});
+      hosts[src].committed -= vms[vm].wss;
+      hosts[dst].committed += vms[vm].wss;
+      vms[vm].movable = false;
+      vms[vm].host = dst;
+      --budget;
+      placed = true;
+      break;
+    }
+    if (placed) continue;
+
+    // No direct move is admissible — the coolest host is itself near its
+    // watermark. Destination swap: exchange the source's largest VM with a
+    // strictly smaller VM of the destination, so load moves without
+    // needing headroom for the whole VM. Costs two migration launches.
+    if (!config.enable_swaps || budget < 2) break;
+    std::size_t sx = kNoVm, sy = kNoVm;
+    // Largest source VM first (ties: lowest index) …
+    std::vector<std::size_t> order;
+    for (std::size_t v = 0; v < vms.size(); ++v) {
+      if (vms[v].movable && vms[v].host == src && vms[v].wss > 0)
+        order.push_back(v);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return vms[a].wss > vms[b].wss;
+    });
+    for (std::size_t x : order) {
+      // … against the smallest strictly-lighter destination VM that keeps
+      // the destination admissible and narrows the peak.
+      std::size_t best_y = kNoVm;
+      for (std::size_t y = 0; y < vms.size(); ++y) {
+        if (!vms[y].movable || vms[y].host != coolest) continue;
+        if (vms[y].wss == 0 || vms[y].wss >= vms[x].wss) continue;
+        Bytes delta = vms[x].wss - vms[y].wss;
+        if (delta > hosts[src].committed) continue;
+        Bytes dst_after = hosts[coolest].committed + delta;
+        Bytes src_after = hosts[src].committed - delta;
+        if (dst_after > admission_limit(hosts[coolest], low_watermark)) continue;
+        if (!improves(src, coolest, src_after, dst_after)) continue;
+        if (best_y == kNoVm || vms[y].wss < vms[best_y].wss) best_y = y;
+      }
+      if (best_y != kNoVm) {
+        sx = x;
+        sy = best_y;
+        break;
+      }
+    }
+    if (sx == kNoVm) break;
+    proposals.push_back({sx, coolest, sy});
+    Bytes delta = vms[sx].wss - vms[sy].wss;
+    hosts[src].committed -= delta;
+    hosts[coolest].committed += delta;
+    vms[sx].movable = false;
+    vms[sx].host = coolest;
+    vms[sy].movable = false;
+    vms[sy].host = src;
+    budget -= 2;
+  }
+  return proposals;
+}
+
+FleetRebalancer::FleetRebalancer(Testbed* testbed,
+                                 MigrationOrchestrator* orchestrator,
+                                 FleetRebalancerConfig config)
+    : testbed_(testbed), orchestrator_(orchestrator), config_(config) {
+  AGILE_CHECK(testbed_ != nullptr && orchestrator_ != nullptr);
+  AGILE_CHECK(config_.round_interval > 0);
+  AGILE_CHECK(config_.max_moves_per_round >= 1);
+}
+
+FleetRebalancer::~FleetRebalancer() { stop(); }
+
+void FleetRebalancer::start() {
+  AGILE_CHECK_MSG(task_ == nullptr, "already started");
+  started_at_ = testbed_->cluster().simulation().now();
+  task_ = testbed_->cluster().simulation().schedule_periodic(
+      config_.round_interval, [this](SimTime now) { run_round(now); });
+}
+
+void FleetRebalancer::stop() {
+  if (task_ != nullptr) {
+    task_->cancel();
+    task_.reset();
+  }
+}
+
+void FleetRebalancer::bind_stats(stats::Registry* registry) {
+  if (registry == nullptr) {
+    stats_ = StatsCells{};
+    return;
+  }
+  stats_.rounds = registry->counter("agile_rebalancer_rounds_total", {},
+                                    "Rebalance rounds run (post-warmup)");
+  stats_.moves = registry->counter("agile_rebalancer_moves_total", {},
+                                   "Rebalance migrations launched");
+  stats_.swaps = registry->counter(
+      "agile_rebalancer_swap_moves_total", {},
+      "Launched moves that were halves of destination-swap pairs");
+  stats_.throttled = registry->counter(
+      "agile_rebalancer_throttled_total", {},
+      "Proposed moves refused by the per-link in-flight cap");
+  stats_.load_spread_millis = registry->gauge(
+      "agile_rebalancer_load_spread_millis", {},
+      "Max minus min host load fraction x1000 at the last round");
+}
+
+void FleetRebalancer::run_round(SimTime now) {
+  // Warmup gate only applies to scheduled rounds (tests may drive
+  // run_round directly before start()).
+  if (started_at_ >= 0 && now - started_at_ < config_.warmup) return;
+  const double low = orchestrator_->config().watermarks.low;
+
+  std::vector<RebalanceHostState> hosts;
+  hosts.reserve(testbed_->host_count());
+  for (std::size_t h = 0; h < testbed_->host_count(); ++h) {
+    host::Host* host = testbed_->host_at(h);
+    hosts.push_back({host->name(), host->ram(),
+                     orchestrator_->committed_bytes(host), host->rack()});
+  }
+  std::vector<RebalanceVmState> vms;
+  vms.reserve(orchestrator_->tracked_count());
+  for (std::size_t t = 0; t < orchestrator_->tracked_count(); ++t) {
+    VmHandle* handle = orchestrator_->tracked_at(t);
+    host::Host* host = testbed_->host_of(handle->machine);
+    std::size_t host_index = hosts.size();
+    for (std::size_t h = 0; h < testbed_->host_count(); ++h) {
+      if (testbed_->host_at(h) == host) {
+        host_index = h;
+        break;
+      }
+    }
+    // Only settled VMs move: an in-flight VM is already travelling, and a
+    // hungry estimate (pinned at its cap, or still trending) would make the
+    // move size a guess. Global simultaneous stability is never reached on
+    // a large loaded fleet, so the gate is per-VM rather than a fleet-wide
+    // latch.
+    bool movable = host_index < hosts.size() &&
+                   !orchestrator_->vm_in_flight(handle) &&
+                   orchestrator_->controller_at(t)->stable();
+    vms.push_back({handle->machine->name(),
+                   host_index < hosts.size() ? host_index : 0,
+                   orchestrator_->controller_at(t)->wss_estimate(), movable});
+  }
+
+  RebalanceRound round;
+  round.time = now;
+  round.index = static_cast<std::uint32_t>(rounds_.size());
+  double max_load = 0.0, min_load = hosts.empty() ? 0.0 : load_of(hosts[0]);
+  for (const RebalanceHostState& h : hosts) {
+    max_load = std::max(max_load, load_of(h));
+    min_load = std::min(min_load, load_of(h));
+  }
+  round.max_load_millis = static_cast<std::int64_t>(max_load * 1000.0);
+  round.min_load_millis = static_cast<std::int64_t>(min_load * 1000.0);
+  if (stats_.load_spread_millis != nullptr) {
+    stats_.load_spread_millis->set(round.max_load_millis -
+                                   round.min_load_millis);
+  }
+
+  if (max_load - min_load < config_.imbalance_threshold) {
+    round.balanced = true;
+  } else {
+    std::vector<RebalanceProposal> proposals =
+        plan_rebalance_round(hosts, vms, config_, low);
+    auto launch = [&](std::size_t vm, std::size_t from, std::size_t to,
+                      bool swap) {
+      bool ok = orchestrator_->launch_rebalance(orchestrator_->tracked_at(vm),
+                                                testbed_->host_at(to));
+      if (!ok) {
+        ++round.throttled;
+        if (stats_.throttled != nullptr) stats_.throttled->inc();
+        return;
+      }
+      round.moves.push_back({vms[vm].name, hosts[from].name, hosts[to].name,
+                             vms[vm].wss, swap});
+      ++moves_launched_;
+      if (stats_.moves != nullptr) stats_.moves->inc();
+      if (swap && stats_.swaps != nullptr) stats_.swaps->inc();
+    };
+    for (const RebalanceProposal& p : proposals) {
+      std::size_t from = vms[p.vm].host;
+      bool swap = p.partner_vm != kNoVm;
+      launch(p.vm, from, p.dest, swap);
+      // The swap's counter-move: the destination's partner VM travels back
+      // to the source (a different source→dest pair, so the link cap
+      // throttles each direction independently).
+      if (swap) launch(p.partner_vm, p.dest, from, true);
+    }
+    if (!round.moves.empty() || round.throttled > 0) {
+      AGILE_LOG_INFO(
+          "rebalancer: round %u spread %.3f launched %zu moves (%u throttled)",
+          round.index, max_load - min_load, round.moves.size(),
+          round.throttled);
+    }
+  }
+  if (stats_.rounds != nullptr) stats_.rounds->inc();
+  rounds_.push_back(std::move(round));
+}
+
+}  // namespace agile::core

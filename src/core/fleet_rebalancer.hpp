@@ -1,0 +1,170 @@
+// Fleet-wide load rebalancer: MongoDB-balancer-style rounds over the
+// orchestrator's admission state.
+//
+// The MigrationOrchestrator is reactive — it fires when a host crosses its
+// high watermark. The FleetRebalancer is proactive: on a fixed period it
+// computes the load fraction (committed bytes / RAM, the orchestrator's own
+// admission view) of every host, and while the gap between the most and
+// least loaded hosts exceeds a threshold it proposes a bounded batch of
+// moves from the hottest host toward the coolest (the round-based,
+// throttled shape of MongoDB's sharding balancer). Two move kinds:
+//
+//  * direct move — the smallest resident VM whose departure narrows the
+//    load peak and whose WSS the destination admits under its low
+//    watermark;
+//  * destination swap — when no direct move is admissible (the coolest
+//    host is itself near the watermark), exchange the hottest host's
+//    largest VM with a strictly smaller VM of the destination (the
+//    adaptive intra-/inter-tenant destination-swap strategy), which moves
+//    load without needing free headroom for the full VM.
+//
+// Planning is a pure function (`plan_rebalance_round`) over value-type
+// snapshots — unit-testable and deterministic. Execution throttles every
+// proposal through MigrationOrchestrator::launch_rebalance, so rebalancing
+// obeys the same per-link in-flight caps and reservation accounting as
+// watermark responses, and each round is logged to an audit record the
+// fleet benches print as a FLEET_GOLDEN-style block.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/migration_orchestrator.hpp"
+#include "core/testbed.hpp"
+#include "stats/stats.hpp"
+
+namespace agile::core {
+
+struct FleetRebalancerConfig {
+  SimTime round_interval = sec(30);
+  /// Grace period after start before the first acting round (the
+  /// orchestrator's controllers need a first pass at convergence; after
+  /// that, only VMs whose own controller is stable are movable).
+  SimTime warmup = sec(60);
+  /// Max migrations launched per round (a destination swap counts as two).
+  std::uint32_t max_moves_per_round = 4;
+  /// Minimum load-fraction gap (committed/RAM) between the most and least
+  /// loaded hosts before a round proposes anything.
+  double imbalance_threshold = 0.10;
+  /// Prefer a destination inside the source host's rack when one admits
+  /// the move — keeps rebalancing traffic off the oversubscribed core.
+  bool rack_aware = false;
+  /// Allow destination-swap pairs when no direct move is admissible.
+  bool enable_swaps = true;
+};
+
+/// Snapshot of one host for round planning. `committed` is the
+/// orchestrator's admission view (host OS + tracked working sets +
+/// in-flight reservations).
+struct RebalanceHostState {
+  std::string name;
+  Bytes ram = 0;
+  Bytes committed = 0;
+  std::uint32_t rack = 0;
+};
+
+/// Snapshot of one tracked VM for round planning.
+struct RebalanceVmState {
+  std::string name;
+  std::size_t host = 0;  ///< Index into the host snapshot vector.
+  Bytes wss = 0;
+  /// False while already migrating or while the VM's reservation controller
+  /// is still hunting (an unsettled estimate makes the move size a guess).
+  bool movable = true;
+};
+
+inline constexpr std::size_t kNoVm = static_cast<std::size_t>(-1);
+
+/// One planned migration. `partner_vm` != kNoVm marks a destination swap:
+/// `vm` moves host→`dest` while `partner_vm` moves `dest`→`vm`'s host.
+struct RebalanceProposal {
+  std::size_t vm = kNoVm;
+  std::size_t dest = 0;
+  std::size_t partner_vm = kNoVm;
+};
+
+/// Pure round planner. Repeatedly takes the most loaded host (among those
+/// with a movable VM) and the least loaded host; while their load-fraction
+/// gap exceeds `config.imbalance_threshold` and the batch bound permits, it
+/// proposes the smallest VM of the source whose move to the destination is
+/// admissible under `low_watermark` and strictly narrows the load peak —
+/// preferring a same-rack destination when `config.rack_aware` — else, with
+/// `config.enable_swaps`, a destination swap of the source's largest VM
+/// against a strictly smaller destination VM that leaves the destination
+/// under `low_watermark`. Proposal effects are applied to the snapshot
+/// between iterations, so one round never overcommits a destination. All
+/// tie-breaks are by input index; the result is deterministic.
+std::vector<RebalanceProposal> plan_rebalance_round(
+    std::vector<RebalanceHostState> hosts, std::vector<RebalanceVmState> vms,
+    const FleetRebalancerConfig& config, double low_watermark);
+
+/// One launched (or throttled) migration of a round, for the audit block.
+struct RebalanceMove {
+  std::string vm;
+  std::string from;
+  std::string to;
+  Bytes wss = 0;
+  bool swap = false;  ///< Half of a destination-swap pair.
+};
+
+/// Audit record of one round (the deterministic log the benches print).
+struct RebalanceRound {
+  SimTime time = 0;
+  std::uint32_t index = 0;
+  /// Load fraction ×1000 of the most/least loaded host before the round's
+  /// moves (integer so golden blocks format identically everywhere).
+  std::int64_t max_load_millis = 0;
+  std::int64_t min_load_millis = 0;
+  bool balanced = false;  ///< Gap under threshold; nothing proposed.
+  std::vector<RebalanceMove> moves;
+  std::uint32_t throttled = 0;  ///< Proposals refused by the link cap.
+};
+
+class FleetRebalancer {
+ public:
+  FleetRebalancer(Testbed* testbed, MigrationOrchestrator* orchestrator,
+                  FleetRebalancerConfig config = {});
+  ~FleetRebalancer();
+
+  FleetRebalancer(const FleetRebalancer&) = delete;
+  FleetRebalancer& operator=(const FleetRebalancer&) = delete;
+
+  /// Starts the periodic rounds. Start after the orchestrator (it owns the
+  /// tracked controllers the planner reads).
+  void start();
+  void stop();
+
+  const FleetRebalancerConfig& config() const { return config_; }
+
+  /// Every acting round so far, in time order (warmup rounds are skipped,
+  /// not recorded).
+  const std::vector<RebalanceRound>& rounds() const { return rounds_; }
+  std::size_t moves_launched() const { return moves_launched_; }
+
+  /// Registers round/move counters on `registry`. Coordinator-thread-only;
+  /// call before start(). Pass nullptr to detach.
+  void bind_stats(stats::Registry* registry);
+
+  /// One planning+launch round (public for tests; normally periodic).
+  void run_round(SimTime now);
+
+ private:
+  Testbed* testbed_;
+  MigrationOrchestrator* orchestrator_;
+  FleetRebalancerConfig config_;
+  std::shared_ptr<sim::PeriodicTask> task_;
+  SimTime started_at_ = -1;
+  std::vector<RebalanceRound> rounds_;
+  std::size_t moves_launched_ = 0;
+  struct StatsCells {
+    stats::Counter* rounds = nullptr;
+    stats::Counter* moves = nullptr;
+    stats::Counter* swaps = nullptr;
+    stats::Counter* throttled = nullptr;
+    stats::Gauge* load_spread_millis = nullptr;
+  };
+  StatsCells stats_;
+};
+
+}  // namespace agile::core

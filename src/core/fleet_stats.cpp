@@ -107,6 +107,29 @@ void FleetStatsCollector::register_static_metrics() {
     c.disk_pages = registry_->gauge("agile_vmd_disk_pages", l,
                                     "Pages spilled to the disk tier");
   }
+  // Per-link-tier gauges, tier enum order. Only on a rack topology: the
+  // flat default predates these metrics and its stats goldens must stay
+  // byte-identical.
+  const net::Network& net = bed_->cluster().network();
+  if (net.topology().kind == net::TopologyKind::kLeafSpine) {
+    for (std::size_t t = 0; t < net::kLinkTierCount; ++t) {
+      const auto tier = static_cast<net::LinkTier>(t);
+      if (net.tier_totals(tier).links == 0) continue;
+      const stats::Labels l = {{"tier", net::tier_name(tier)}};
+      TierCells c;
+      c.tier = tier;
+      c.bytes_total = registry_->counter(
+          "agile_net_tier_bytes_total", l,
+          "Flow + background bytes carried by the tier's links");
+      c.util_pct = registry_->gauge(
+          "agile_net_tier_utilization_pct", l,
+          "Tier utilization over the last scrape window (percent)");
+      c.peak_util_pct = registry_->gauge(
+          "agile_net_tier_peak_utilization_pct", l,
+          "Most utilized link of the tier, last quantum (percent)");
+      tier_cells_.push_back(c);
+    }
+  }
   migration_time_ms_ = registry_->histogram(
       "agile_migration_total_time_ms", time_bounds(), {},
       "Completed migration total time (start to source release)");
@@ -266,6 +289,24 @@ void FleetStatsCollector::finalize(SimTime now) {
           static_cast<double>(tx_delta) * 100.0 / window_capacity);
     }
     c.link_util_pct->set(pct);
+  }
+  for (TierCells& c : tier_cells_) {
+    const net::TierTotals totals = net.tier_totals(c.tier);
+    c.bytes_total->set(static_cast<std::int64_t>(totals.bytes_total));
+    const Bytes delta =
+        totals.bytes_total >= c.prev_bytes ? totals.bytes_total - c.prev_bytes
+                                           : 0;
+    c.prev_bytes = totals.bytes_total;
+    const double window_capacity =
+        totals.capacity_bytes_per_sec * to_seconds(interval_);
+    std::int64_t pct = 0;
+    if (window_capacity > 0) {
+      pct = static_cast<std::int64_t>(static_cast<double>(delta) * 100.0 /
+                                      window_capacity);
+    }
+    c.util_pct->set(pct);
+    c.peak_util_pct->set(
+        static_cast<std::int64_t>(totals.peak_utilization * 100.0));
   }
   if (orchestrator_ != nullptr) {
     // Watermark distance: high watermark minus committed working sets

@@ -74,6 +74,16 @@ class FleetStatsCollector {
     stats::Gauge* memory_pages = nullptr;
     stats::Gauge* disk_pages = nullptr;
   };
+  /// One link tier of the fabric (host NIC up/down, leaf up/down). Only
+  /// registered on a rack (leaf-spine) topology — the flat default keeps
+  /// its historical metric set byte-identical.
+  struct TierCells {
+    net::LinkTier tier = net::LinkTier::kHostUp;
+    stats::Counter* bytes_total = nullptr;
+    stats::Gauge* util_pct = nullptr;       ///< Mean over the scrape window.
+    stats::Gauge* peak_util_pct = nullptr;  ///< Max link util, last quantum.
+    Bytes prev_bytes = 0;  ///< Coordinator-only (utilization window).
+  };
   /// One observed migration, keyed by VM name (never by pointer: managers
   /// are destroyed and reallocated, and name keys keep map order
   /// deterministic). Health gauges are registered on first sight.
@@ -107,6 +117,7 @@ class FleetStatsCollector {
   /// never iterated, so the pointer keys cannot leak address order).
   std::map<const vm::VirtualMachine*, std::size_t> vm_index_;
   std::vector<VmdCells> vmd_cells_;    ///< By VMD server index.
+  std::vector<TierCells> tier_cells_;  ///< Tier enum order; leaf-spine only.
   std::map<std::string, MigrationTrack> migrations_;  ///< By VM name.
   stats::Histogram* migration_time_ms_ = nullptr;
   stats::Histogram* migration_downtime_ms_ = nullptr;

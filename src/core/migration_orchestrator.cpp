@@ -133,12 +133,63 @@ Bytes MigrationOrchestrator::committed_bytes(host::Host* host) const {
   return committed;
 }
 
-void MigrationOrchestrator::evaluate(SimTime now) {
+void MigrationOrchestrator::retire_completed() {
   in_flight_.erase(std::remove_if(in_flight_.begin(), in_flight_.end(),
                                   [](const InFlight& f) {
                                     return f.migration->completed();
                                   }),
                    in_flight_.end());
+}
+
+bool MigrationOrchestrator::estimates_stable() const {
+  for (const Entry& e : entries_) {
+    if (!e.controller->stable()) return false;
+  }
+  return true;
+}
+
+bool MigrationOrchestrator::estimates_ready() {
+  if (!config_.wait_for_stable_estimates) return true;
+  if (!estimates_ready_ && estimates_stable()) {
+    estimates_ready_ = true;  // one-shot: later instability is pressure
+  }
+  return estimates_ready_;
+}
+
+bool MigrationOrchestrator::launch_rebalance(VmHandle* handle,
+                                             host::Host* dest) {
+  AGILE_CHECK(handle != nullptr && dest != nullptr);
+  retire_completed();
+  Entry* entry = nullptr;
+  for (Entry& e : entries_) {
+    if (e.handle == handle) {
+      entry = &e;
+      break;
+    }
+  }
+  AGILE_CHECK_MSG(entry != nullptr, "rebalance of an untracked VM");
+  host::Host* source = testbed_->host_of(handle->machine);
+  AGILE_CHECK_MSG(source != nullptr, "rebalance victim resides on no host");
+  AGILE_CHECK_MSG(source != dest, "rebalance destination is the source");
+  if (vm_in_flight(handle)) return false;
+  if (link_load(source, dest) >= config_.per_link_in_flight_cap) return false;
+  Bytes estimate = entry->controller->wss_estimate();
+  AGILE_LOG_INFO("orchestrator: rebalancing %s (WSS %.1f GiB) from %s to %s",
+                 handle->machine->name().c_str(), to_gib(estimate),
+                 source->name().c_str(), dest->name().c_str());
+  migrations_.push_back(
+      testbed_->make_migration_to(config_.technique, *handle, dest, estimate));
+  migrations_.back()->start();
+  in_flight_.push_back(
+      {migrations_.back().get(), handle, source, dest, estimate});
+  if (stats_.launches != nullptr) stats_.launches->inc();
+  publish_in_flight_stats();
+  if (on_migration_) on_migration_(handle, dest);
+  return true;
+}
+
+void MigrationOrchestrator::evaluate(SimTime now) {
+  retire_completed();
   if (stats_.evaluations != nullptr) stats_.evaluations->inc();
   // Publish after retiring completed migrations and again after the host
   // sweep below: a migration launched this sweep must be visible to every
@@ -146,12 +197,7 @@ void MigrationOrchestrator::evaluate(SimTime now) {
   // (launch and completion inside one check interval) never shows up.
   publish_in_flight_stats();
   if (now - started_at_ < config_.warmup) return;
-  if (config_.wait_for_stable_estimates && !estimates_ready_) {
-    for (const Entry& e : entries_) {
-      if (!e.controller->stable()) return;
-    }
-    estimates_ready_ = true;  // one-shot gate: later instability is pressure
-  }
+  if (!estimates_ready()) return;
   // Every host is a potential source; evaluation order is host index order,
   // so one sweep's launches (and their destination reservations) are
   // deterministic.
@@ -210,15 +256,19 @@ void MigrationOrchestrator::evaluate_host(SimTime now, host::Host* source) {
     host::Host* dest = testbed_->host_at(i);
     if (dest == source) continue;
     candidates.push_back(dest);
-    headrooms.push_back({dest->name(), dest->ram(), committed_bytes(dest)});
+    headrooms.push_back(
+        {dest->name(), dest->ram(), committed_bytes(dest), dest->rack()});
   }
   std::vector<Bytes> victim_wss;
   victim_wss.reserve(last_decision_.victims.size());
   for (std::size_t idx : last_decision_.victims) {
     victim_wss.push_back(pressures[idx].wss);
   }
-  std::vector<std::size_t> placement =
-      wss::place_victims(victim_wss, headrooms, config_.watermarks.low);
+  wss::PlacementPolicy policy = config_.rack_aware_placement
+                                    ? wss::PlacementPolicy::kRackAware
+                                    : wss::PlacementPolicy::kBestFit;
+  std::vector<std::size_t> placement = wss::place_victims(
+      victim_wss, headrooms, config_.watermarks.low, policy, source->rack());
 
   for (std::size_t v = 0; v < last_decision_.victims.size(); ++v) {
     Entry* victim = present[last_decision_.victims[v]];

@@ -43,6 +43,11 @@ struct MigrationOrchestratorConfig {
   /// Max concurrent migrations sharing one source→destination link. Victims
   /// over the cap are deferred to a later evaluation, not dropped.
   std::uint32_t per_link_in_flight_cap = 2;
+  /// Place victims with wss::PlacementPolicy::kRackAware (same-rack best
+  /// fit first, global fallback) instead of plain best-fit. Only changes
+  /// behavior on a rack topology — on the flat default every candidate
+  /// shares rack 0 and the policies coincide.
+  bool rack_aware_placement = false;
 };
 
 /// One VM launched by a fleet decision (for observability / bench output).
@@ -123,6 +128,37 @@ class MigrationOrchestrator {
     on_migration_ = std::move(fn);
   }
 
+  // --- Shared fleet-state queries (the FleetRebalancer plans rounds on
+  // --- exactly the orchestrator's admission view, so its moves and the
+  // --- watermark responses can never disagree about what is committed).
+
+  /// Whether `handle`'s VM has a launched, not-yet-completed migration.
+  bool vm_in_flight(const VmHandle* handle) const;
+  /// In-flight migrations currently sharing the source→dest pair.
+  std::size_t link_load(const host::Host* source, const host::Host* dest) const;
+  /// Bytes already claimed against `host`'s RAM: host OS + working sets of
+  /// resident VMs (tracked estimate, else resident bytes) + reservations of
+  /// in-flight migrations targeting it.
+  Bytes committed_bytes(host::Host* host) const;
+  /// Whether every tracked controller has reached a stable estimate right
+  /// now. A VM pinned hungry at its reservation cap is never stable, so
+  /// policy code should usually gate on estimates_ready() instead.
+  bool estimates_stable() const;
+  /// One-shot readiness latch: true once every controller has been stable
+  /// simultaneously (or wait_for_stable_estimates is off). Later
+  /// instability is pressure to act on, not a reason to wait — evaluate()
+  /// and the FleetRebalancer both gate on this.
+  bool estimates_ready();
+
+  /// Launches a policy-driven (rebalancing) migration of a tracked VM to
+  /// `dest`, through the same throttle and accounting as watermark
+  /// responses: refused (returns false) while the VM is already in flight
+  /// or the source→dest link is at its in-flight cap; on success the VM's
+  /// WSS estimate is reserved against `dest` until the migration completes.
+  /// Admission against dest's watermark is the *caller's* policy decision —
+  /// destination-swap pairs intentionally overlap reservations.
+  bool launch_rebalance(VmHandle* handle, host::Host* dest);
+
  private:
   struct Entry {
     VmHandle* handle;
@@ -142,12 +178,9 @@ class MigrationOrchestrator {
   void evaluate_host(SimTime now, host::Host* source);
   /// Publishes the in-flight/reservation gauges (no-op when unbound).
   void publish_in_flight_stats();
-  bool vm_in_flight(const VmHandle* handle) const;
-  std::size_t link_load(const host::Host* source, const host::Host* dest) const;
-  /// Bytes already claimed against `host`'s RAM: host OS + working sets of
-  /// resident VMs (tracked estimate, else resident bytes) + reservations of
-  /// in-flight migrations targeting it.
-  Bytes committed_bytes(host::Host* host) const;
+  /// Drops in-flight entries whose migration has completed (releases their
+  /// destination reservations).
+  void retire_completed();
 
   Testbed* testbed_;
   MigrationOrchestratorConfig config_;

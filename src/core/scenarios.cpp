@@ -245,10 +245,27 @@ Fleet make_fleet(const FleetOptions& options) {
   cfg.cluster.seed = options.seed;
   cfg.cluster.lanes = options.lanes;
   cfg.vmd_server_capacity = options.vmd_server_capacity;
+  std::uint32_t hosts_per_rack = 0;
+  if (options.racks > 0) {
+    AGILE_CHECK_MSG(options.host_count % options.racks == 0,
+                    "host_count must divide evenly into racks");
+    hosts_per_rack = options.host_count / options.racks;
+    cfg.cluster.network.topology.kind = net::TopologyKind::kLeafSpine;
+    cfg.cluster.network.topology.racks = options.racks;
+    cfg.cluster.network.topology.hosts_per_rack = hosts_per_rack;
+    cfg.cluster.network.topology.oversubscription = options.oversubscription;
+  }
+  if (options.hot_per_rack) {
+    AGILE_CHECK_MSG(options.racks > 0 && options.spread_initial &&
+                        options.hot_vms % options.racks == 0,
+                    "hot_per_rack needs racks, spread_initial, and a hot set "
+                    "divisible by racks");
+  }
   for (std::uint32_t i = 0; i < options.host_count; ++i) {
     host::HostConfig host_cfg = named_host("host" + std::to_string(i));
     host_cfg.ram = i == 0 ? options.source_ram : options.dest_ram;
     host_cfg.host_os_bytes = options.host_os;
+    if (hosts_per_rack > 0) host_cfg.rack = i / hosts_per_rack;
     cfg.hosts.push_back(host_cfg);
   }
   scenario.bed = std::make_unique<Testbed>(cfg);
@@ -274,6 +291,7 @@ Fleet make_fleet(const FleetOptions& options) {
     ycfg.guest_os_bytes = options.guest_os;
     ycfg.active_bytes = options.initial_active;
     ycfg.read_fraction = options.read_fraction;
+    ycfg.concurrency = options.ycsb_concurrency;
     auto load = std::make_unique<workload::YcsbWorkload>(
         h.machine, &bed.cluster().network(), bed.client_node(), ycfg,
         bed.make_rng(spec.name + "/ycsb"));
@@ -286,15 +304,25 @@ Fleet make_fleet(const FleetOptions& options) {
   ocfg.wss = options.wss;
   ocfg.technique = options.technique;
   ocfg.per_link_in_flight_cap = options.per_link_cap;
+  ocfg.rack_aware_placement = options.rack_aware_placement;
   scenario.orchestrator =
       std::make_unique<MigrationOrchestrator>(&bed, ocfg);
   for (VmHandle* h : scenario.handles) scenario.orchestrator->track(h);
+  if (options.rebalance) {
+    scenario.rebalancer = std::make_unique<FleetRebalancer>(
+        &bed, scenario.orchestrator.get(), options.rebalancer_config);
+  }
   if (options.stats) {
     scenario.registry = std::make_unique<stats::Registry>();
     scenario.collector = std::make_unique<FleetStatsCollector>(
         scenario.bed.get(), scenario.registry.get());
     scenario.collector->set_orchestrator(scenario.orchestrator.get());
     scenario.collector->start(options.stats_interval);
+    // After the collector (which registers the fleet's static metric set):
+    // the rebalancer's counters append in a fixed order.
+    if (scenario.rebalancer != nullptr) {
+      scenario.rebalancer->bind_stats(scenario.registry.get());
+    }
   }
   return scenario;
 }
@@ -302,7 +330,21 @@ Fleet make_fleet(const FleetOptions& options) {
 void Fleet::load_all() {
   for (workload::YcsbWorkload* y : ycsbs) y->load(0);
   drain_ssd(*bed);
-  for (std::uint32_t i = 0; i < options.hot_vms; ++i) {
+  // The hot set: first hot_vms VMs, or — per-rack hotspots — the VMs homed
+  // on the first hot_vms/racks hosts of each rack, in VM index order.
+  std::vector<std::uint32_t> hot;
+  if (options.hot_per_rack && options.racks > 0) {
+    const std::uint32_t per_rack = options.host_count / options.racks;
+    const std::uint32_t per_rack_hot = options.hot_vms / options.racks;
+    for (std::uint32_t i = 0;
+         i < ycsbs.size() && hot.size() < options.hot_vms; ++i) {
+      const std::uint32_t home = i % options.host_count;
+      if (home % per_rack < per_rack_hot) hot.push_back(i);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < options.hot_vms; ++i) hot.push_back(i);
+  }
+  for (std::uint32_t i : hot) {
     workload::YcsbWorkload* y = ycsbs[i];
     Bytes target = options.hot_active;
     // Host-bound: the hotspot mutates the workload, so it must run on the

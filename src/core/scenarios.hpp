@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fleet_rebalancer.hpp"
 #include "core/fleet_stats.hpp"
 #include "core/migration_orchestrator.hpp"
 #include "core/testbed.hpp"
@@ -187,6 +188,10 @@ struct FleetOptions {
   std::uint32_t hot_vms = 3;      ///< VMs 0..hot_vms−1 turn hot together.
   SimTime hot_at = sec(90);
   double read_fraction = 0.8;
+  /// Outstanding client requests per VM (YcsbConfig::concurrency). Topology
+  /// benches lower this so background RPC traffic does not saturate the
+  /// oversubscribed leaf tier and drown the reservation controllers.
+  std::uint32_t ycsb_concurrency = 8;
   wss::WatermarkConfig watermarks;
   wss::WssConfig wss = fleet_wss_defaults();
   std::uint32_t per_link_cap = 2;
@@ -206,6 +211,26 @@ struct FleetOptions {
   /// with the fleet so the lane planner's near-full safety collapse (see
   /// Testbed::plan_lanes) never triggers.
   Bytes vmd_server_capacity = 64_GiB;
+  /// Rack topology: 0 keeps the flat single-switch network (byte-identical
+  /// to every historical run). Otherwise the cluster is built on an
+  /// oversubscribed leaf-spine fabric with this many racks; hosts are
+  /// block-assigned (host i → rack i / (host_count / racks)) and host_count
+  /// must divide evenly.
+  std::uint32_t racks = 0;
+  /// Core oversubscription ratio of the leaf-spine fabric (racks > 0 only).
+  double oversubscription = 4.0;
+  /// Orchestrator victim placement prefers destinations in the source's
+  /// rack (wss::PlacementPolicy::kRackAware).
+  bool rack_aware_placement = false;
+  /// Run a FleetRebalancer alongside the orchestrator (the caller starts it
+  /// together with the orchestrator).
+  bool rebalance = false;
+  FleetRebalancerConfig rebalancer_config;
+  /// With racks: make the hot set the first hot_vms/racks VMs *of each
+  /// rack* instead of the first hot_vms VMs globally, creating a per-rack
+  /// hotspot with cold local neighbors (requires spread_initial and
+  /// hot_vms divisible by racks).
+  bool hot_per_rack = false;
 };
 
 struct Fleet {
@@ -214,6 +239,9 @@ struct Fleet {
   std::vector<VmHandle*> handles;
   std::vector<workload::YcsbWorkload*> ycsbs;
   std::unique_ptr<MigrationOrchestrator> orchestrator;
+  /// Engaged when options.rebalance (declared after the orchestrator it
+  /// launches through; destroyed first, cancelling its round task).
+  std::unique_ptr<FleetRebalancer> rebalancer;
   /// Engaged when options.stats (declared after bed/orchestrator: the
   /// collector is destroyed first, cancelling its scrape task).
   std::unique_ptr<stats::Registry> registry;

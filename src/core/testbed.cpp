@@ -166,6 +166,30 @@ std::vector<std::uint32_t> Testbed::plan_lanes(std::size_t host_count,
     }
     return host_count;  // not found (host added after plan size was fixed)
   };
+  // On a rack topology, a rack is one affinity group: its hosts share the
+  // leaf switch, so keeping them on one lane means intra-rack traffic never
+  // crosses a lane barrier. Gated on the topology kind — on the flat
+  // default every host reports rack 0 and unioning would serialize the
+  // whole fleet.
+  if (rack_topology()) {
+    std::vector<std::pair<std::uint32_t, std::size_t>> rack_first;
+    for (std::size_t i = 0; i < host_count && i < hosts_.size(); ++i) {
+      std::uint32_t rack = hosts_[i]->rack();
+      std::size_t first = host_count;
+      for (const auto& [r, idx] : rack_first) {
+        if (r == rack) {
+          first = idx;
+          break;
+        }
+      }
+      if (first == host_count) {
+        rack_first.emplace_back(rack, i);
+      } else {
+        std::size_t rs = find(first), ri = find(i);
+        if (rs != ri) parent[std::max(rs, ri)] = std::min(rs, ri);
+      }
+    }
+  }
   for (migration::MigrationManager* m : live_migrations_) {
     if (!m->started() || m->completed()) continue;
     std::size_t si = host_index(m->source_host());

@@ -85,6 +85,14 @@ class Testbed {
   host::Host* dest() { return hosts_[1]; }
   std::size_t host_count() const { return hosts_.size(); }
   host::Host* host_at(std::size_t i) { return hosts_[i]; }
+  /// Rack of host `i` (0 for every host on the flat topology default).
+  std::uint32_t rack_of_host(std::size_t i) const { return hosts_[i]->rack(); }
+  /// Whether the cluster network is a real (leaf-spine) rack topology —
+  /// rack-aware placement and per-rack lane grouping only engage then.
+  bool rack_topology() const {
+    return config_.cluster.network.topology.kind ==
+           net::TopologyKind::kLeafSpine;
+  }
   /// Host the VM currently resides on (placement is tracked via the hosts'
   /// attach lists, so this follows migrations). Null if on none.
   host::Host* host_of(const vm::VirtualMachine* machine);
@@ -125,12 +133,15 @@ class Testbed {
   Rng make_rng(std::string_view tag) { return cluster_.make_rng(tag); }
 
   /// Deterministic host→lane affinity plan for parallel event lanes (see
-  /// sim/lanes.hpp). Hosts coupled by an in-flight migration (demand faults
-  /// reach back into source-side state) are unioned onto one lane; when any
-  /// VMD server runs a disk tier or is within the safety margin of full —
-  /// where placement would become order-dependent — the whole fleet
-  /// collapses onto lane 0 (sequential semantics). Installed on the cluster
-  /// at construction; public for tests.
+  /// sim/lanes.hpp). On a rack topology, hosts sharing a rack are unioned
+  /// onto one lane (intra-rack traffic then never crosses a lane barrier);
+  /// hosts coupled by an in-flight migration (demand faults reach back into
+  /// source-side state) are unioned likewise — a cross-rack migration
+  /// merges the two rack groups. When any VMD server runs a disk tier or is
+  /// within the safety margin of full — where placement would become
+  /// order-dependent — the whole fleet collapses onto lane 0 (sequential
+  /// semantics). Installed on the cluster at construction; public for
+  /// tests.
   std::vector<std::uint32_t> plan_lanes(std::size_t host_count,
                                         std::size_t lanes);
 

@@ -7,7 +7,7 @@ namespace agile::host {
 Host::Host(net::Network* network, HostConfig config)
     : config_(std::move(config)) {
   AGILE_CHECK(network != nullptr);
-  node_ = network->add_node(config_.name);
+  node_ = network->add_node(config_.name, config_.rack);
   ssd_ = std::make_shared<storage::SsdModel>(config_.ssd);
   swap_partition_ = std::make_unique<swap::LocalSwapDevice>(
       config_.name + ":swap", ssd_, config_.swap_partition_bytes);

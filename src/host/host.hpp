@@ -27,6 +27,9 @@ struct HostConfig {
   storage::SsdConfig ssd;              ///< The 128 GB Crucial SSD.
   Bytes swap_partition_bytes = 30_GiB; ///< System-wide swap on the SSD.
   std::uint64_t reclaim_pages_per_quantum = 8192;  ///< kswapd rate bound.
+  /// Rack the host's NIC attaches to. Ignored by the flat topology; must
+  /// name a valid rack when the cluster's network is leaf-spine.
+  std::uint32_t rack = 0;
 };
 
 class Host {
@@ -36,6 +39,7 @@ class Host {
   const std::string& name() const { return config_.name; }
   const HostConfig& config() const { return config_; }
   net::NodeId node() const { return node_; }
+  std::uint32_t rack() const { return config_.rack; }
 
   const std::shared_ptr<storage::SsdModel>& ssd() const { return ssd_; }
   swap::LocalSwapDevice* swap_partition() { return swap_partition_.get(); }

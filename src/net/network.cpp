@@ -8,11 +8,14 @@
 
 namespace agile::net {
 
-Network::Network(NetworkConfig config) : config_(config) {
+Network::Network(NetworkConfig config)
+    : config_(config),
+      payload_rate_(config.link_bits_per_sec / 8.0 * config.protocol_efficiency),
+      flow_payload_rate_(0.0),
+      topo_(config.topology, payload_rate_) {
   AGILE_CHECK(config_.link_bits_per_sec > 0);
   AGILE_CHECK(config_.protocol_efficiency > 0 && config_.protocol_efficiency <= 1.0);
   AGILE_CHECK(config_.flow_max_bits_per_sec >= 0);
-  payload_rate_ = config_.link_bits_per_sec / 8.0 * config_.protocol_efficiency;
   // Uncapped flows carry an infinite per-flow budget: min(x, inf) == x, so
   // the default allocation arithmetic is bitwise identical to the pre-cap
   // model (the golden tests depend on that).
@@ -20,11 +23,15 @@ Network::Network(NetworkConfig config) : config_(config) {
       config_.flow_max_bits_per_sec > 0
           ? config_.flow_max_bits_per_sec / 8.0 * config_.protocol_efficiency
           : std::numeric_limits<double>::infinity();
+  links_.resize(topo_.link_count());  // leaf links exist before any node
 }
 
-NodeId Network::add_node(std::string name) {
-  nodes_.push_back(Node{std::move(name), 0, 0, 0.0, 0.0, {}});
-  return static_cast<NodeId>(nodes_.size() - 1);
+NodeId Network::add_node(std::string name, std::uint32_t rack) {
+  NodeId id = topo_.add_node(rack);
+  links_.resize(topo_.link_count());
+  nodes_.push_back(Node{std::move(name), {}});
+  AGILE_CHECK(nodes_.size() == topo_.node_count());
+  return id;
 }
 
 const std::string& Network::node_name(NodeId id) const {
@@ -37,7 +44,8 @@ FlowId Network::open_flow(NodeId src, NodeId dst,
   AGILE_CHECK(src < nodes_.size() && dst < nodes_.size());
   AGILE_CHECK_MSG(src != dst, "flow endpoints must differ");
   FlowId id = next_flow_id_++;
-  flows_.emplace(id, Flow{src, dst, 0, 0, std::move(on_delivered)});
+  flows_.emplace(id, Flow{src, dst, topo_.route(src, dst), 0, 0,
+                          std::move(on_delivered)});
   return id;
 }
 
@@ -68,65 +76,84 @@ void Network::consume_background(NodeId src, NodeId dst, Bytes bytes) {
   // Relaxed adds: callable concurrently from parallel event lanes (workload
   // client traffic, demand-fault RPCs); advance() reads the sums only after
   // the lane barrier.
-  nodes_[src].background_tx.add(bytes);
-  nodes_[dst].background_rx.add(bytes);
+  Topology::Path path = topo_.route(src, dst);
+  for (std::uint8_t i = 0; i < path.count; ++i) {
+    links_[path.link[i]].background.add(bytes);
+  }
 }
 
 SimTime Network::rpc_latency(NodeId client, NodeId server, Bytes payload) const {
   AGILE_CHECK(client < nodes_.size() && server < nodes_.size());
-  double u = std::max(nodes_[server].util_tx, nodes_[client].util_rx);
+  // The response travels server → client; congestion follows the most
+  // utilized link of that path, transmission its narrowest link.
+  Topology::Path path = topo_.route(server, client);
+  double u = 0.0;
+  double rate = std::numeric_limits<double>::infinity();
+  for (std::uint8_t i = 0; i < path.count; ++i) {
+    u = std::max(u, links_[path.link[i]].util);
+    rate = std::min(rate, topo_.link(path.link[i]).payload_rate);
+  }
   u = std::clamp(u, 0.0, 1.0 - 1.0 / config_.max_queue_factor);
-  double transfer_sec = static_cast<double>(payload) / payload_rate_;
+  double transfer_sec = static_cast<double>(payload) / rate;
   double queue_factor = std::min(1.0 / (1.0 - u), config_.max_queue_factor);
-  return config_.base_rtt + static_cast<SimTime>(transfer_sec * queue_factor * 1e6);
+  // One base RTT per switch crossing: a flat path (2 links) pays exactly the
+  // configured RTT; each extra fabric hop adds another.
+  SimTime rtt = config_.base_rtt * static_cast<SimTime>(path.count - 1);
+  return rtt + static_cast<SimTime>(transfer_sec * queue_factor * 1e6);
 }
 
 void Network::advance(SimTime dt) {
   AGILE_CHECK(dt > 0);
   const double dt_sec = to_seconds(dt);
-  const double raw_capacity = payload_rate_ * dt_sec;
+  const std::size_t link_count = links_.size();
 
-  // Per-direction remaining capacity after this quantum's background traffic.
-  std::vector<double> cap_tx(nodes_.size()), cap_rx(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    cap_tx[i] = std::max(0.0, raw_capacity - static_cast<double>(nodes_[i].background_tx));
-    cap_rx[i] = std::max(0.0, raw_capacity - static_cast<double>(nodes_[i].background_rx));
+  // One read per background cell this quantum (the lane barrier has already
+  // joined, so the sums are final).
+  std::vector<Bytes> background(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    background[l] = links_[l].background;
+  }
+
+  // Per-link remaining capacity after this quantum's background traffic.
+  std::vector<double> quantum_cap(link_count), cap(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    quantum_cap[l] = topo_.link(static_cast<LinkId>(l)).payload_rate * dt_sec;
+    cap[l] = std::max(0.0, quantum_cap[l] - static_cast<double>(background[l]));
   }
 
   // Per-flow budget for this quantum (infinite when no cap is configured, so
   // min() with it leaves the increments untouched).
   const double flow_cap = flow_payload_rate_ * dt_sec;
 
-  // Progressive-filling max–min fair allocation over active flows.
+  // Progressive-filling max–min fair allocation over active flows: every
+  // link of a flow's path is a constraining resource.
   struct Active {
     FlowId id;
-    NodeId src, dst;
+    Topology::Path path;
     double remaining;  // backlog still unallocated
     double alloc = 0.0;
     double cap_left = 0.0;  // per-flow budget still unallocated
   };
   std::vector<Active> active;
   active.reserve(flows_.size());
+  // std::map iteration is id order — the deterministic open order.
   for (auto& [id, f] : flows_) {
     if (f.backlog > 0) {
-      active.push_back(
-          {id, f.src, f.dst, static_cast<double>(f.backlog), 0.0, flow_cap});
+      active.push_back({id, f.path, static_cast<double>(f.backlog), 0.0, flow_cap});
     }
   }
-  // Deterministic order (unordered_map iteration order is not portable).
-  std::sort(active.begin(), active.end(),
-            [](const Active& a, const Active& b) { return a.id < b.id; });
 
   std::vector<bool> frozen(active.size(), false);
   std::size_t live = active.size();
   constexpr double kEps = 1e-6;
   while (live > 0) {
-    // Users per resource among live flows.
-    std::vector<int> users_tx(nodes_.size(), 0), users_rx(nodes_.size(), 0);
+    // Users per link among live flows.
+    std::vector<int> users(link_count, 0);
     for (std::size_t i = 0; i < active.size(); ++i) {
       if (frozen[i]) continue;
-      ++users_tx[active[i].src];
-      ++users_rx[active[i].dst];
+      for (std::uint8_t p = 0; p < active[i].path.count; ++p) {
+        ++users[active[i].path.link[p]];
+      }
     }
     // Largest uniform increment every live flow can take.
     double inc = std::numeric_limits<double>::infinity();
@@ -134,8 +161,10 @@ void Network::advance(SimTime dt) {
       if (frozen[i]) continue;
       inc = std::min(inc, active[i].remaining);
       inc = std::min(inc, active[i].cap_left);
-      inc = std::min(inc, cap_tx[active[i].src] / users_tx[active[i].src]);
-      inc = std::min(inc, cap_rx[active[i].dst] / users_rx[active[i].dst]);
+      for (std::uint8_t p = 0; p < active[i].path.count; ++p) {
+        LinkId l = active[i].path.link[p];
+        inc = std::min(inc, cap[l] / users[l]);
+      }
     }
     if (!std::isfinite(inc)) break;
     inc = std::max(inc, 0.0);
@@ -144,21 +173,29 @@ void Network::advance(SimTime dt) {
       active[i].alloc += inc;
       active[i].remaining -= inc;
       active[i].cap_left -= inc;  // inf - inc == inf for uncapped flows
-      cap_tx[active[i].src] -= inc;
-      cap_rx[active[i].dst] -= inc;
+      for (std::uint8_t p = 0; p < active[i].path.count; ++p) {
+        cap[active[i].path.link[p]] -= inc;
+      }
     }
     // Freeze flows that hit their backlog, their per-flow budget, or a
-    // saturated resource.
+    // saturated link anywhere on their path.
     for (std::size_t i = 0; i < active.size(); ++i) {
       if (frozen[i]) continue;
+      bool saturated = false;
+      for (std::uint8_t p = 0; p < active[i].path.count; ++p) {
+        if (cap[active[i].path.link[p]] <= kEps) {
+          saturated = true;
+          break;
+        }
+      }
       if (active[i].remaining <= kEps || active[i].cap_left <= kEps ||
-          cap_tx[active[i].src] <= kEps || cap_rx[active[i].dst] <= kEps) {
+          saturated) {
         frozen[i] = true;
         --live;
       }
     }
     if (inc <= kEps && live > 0) {
-      // All remaining flows sit on saturated resources; stop.
+      // All remaining flows sit on saturated links; stop.
       break;
     }
   }
@@ -172,7 +209,7 @@ void Network::advance(SimTime dt) {
     Bytes bytes;
   };
   std::vector<Delivery> deliveries;
-  std::vector<double> flow_tx(nodes_.size(), 0.0), flow_rx(nodes_.size(), 0.0);
+  std::vector<double> flow_link(link_count, 0.0);
   for (const Active& a : active) {
     auto bytes = static_cast<Bytes>(a.alloc);
     if (bytes == 0) continue;
@@ -180,23 +217,29 @@ void Network::advance(SimTime dt) {
     bytes = std::min<Bytes>(bytes, f.backlog);
     f.backlog -= bytes;
     f.delivered_total += bytes;
-    flow_tx[f.src] += static_cast<double>(bytes);
-    flow_rx[f.dst] += static_cast<double>(bytes);
+    for (std::uint8_t p = 0; p < f.path.count; ++p) {
+      LinkId l = f.path.link[p];
+      flow_link[l] += static_cast<double>(bytes);
+      links_[l].bytes_total += bytes;
+    }
     nodes_[f.src].stats.tx_bytes += bytes;
     nodes_[f.dst].stats.rx_bytes += bytes;
     if (f.on_delivered) deliveries.push_back({f.on_delivered, bytes});
   }
 
-  // Fold background traffic into stats and compute utilization for the RPC
-  // latency model; reset the per-quantum accumulators.
+  // Fold background traffic into link totals and compute utilization for the
+  // RPC latency model; reset the per-quantum accumulators.
+  for (std::size_t l = 0; l < link_count; ++l) {
+    Link& link = links_[l];
+    link.bytes_total += background[l];
+    link.util = std::min(
+        1.0, (flow_link[l] + static_cast<double>(background[l])) / quantum_cap[l]);
+    link.background = 0;
+  }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    Node& n = nodes_[i];
-    n.stats.tx_bytes += n.background_tx;
-    n.stats.rx_bytes += n.background_rx;
-    n.util_tx = std::min(1.0, (flow_tx[i] + static_cast<double>(n.background_tx)) / raw_capacity);
-    n.util_rx = std::min(1.0, (flow_rx[i] + static_cast<double>(n.background_rx)) / raw_capacity);
-    n.background_tx = 0;
-    n.background_rx = 0;
+    NodeId id = static_cast<NodeId>(i);
+    nodes_[i].stats.tx_bytes += background[topo_.host_up(id)];
+    nodes_[i].stats.rx_bytes += background[topo_.host_down(id)];
   }
 
   // Fabric-level telemetry on the global lane: one sample per quantum while
@@ -217,17 +260,39 @@ void Network::advance(SimTime dt) {
 
 double Network::tx_utilization(NodeId node) const {
   AGILE_CHECK(node < nodes_.size());
-  return nodes_[node].util_tx;
+  return links_[topo_.host_up(node)].util;
 }
 
 double Network::rx_utilization(NodeId node) const {
   AGILE_CHECK(node < nodes_.size());
-  return nodes_[node].util_rx;
+  return links_[topo_.host_down(node)].util;
 }
 
 const NodeStats& Network::stats(NodeId node) const {
   AGILE_CHECK(node < nodes_.size());
   return nodes_[node].stats;
+}
+
+double Network::link_utilization(LinkId id) const {
+  AGILE_CHECK(id < links_.size());
+  return links_[id].util;
+}
+
+Bytes Network::link_bytes_total(LinkId id) const {
+  AGILE_CHECK(id < links_.size());
+  return links_[id].bytes_total;
+}
+
+TierTotals Network::tier_totals(LinkTier tier) const {
+  TierTotals totals;
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (topo_.link(static_cast<LinkId>(l)).tier != tier) continue;
+    ++totals.links;
+    totals.bytes_total += links_[l].bytes_total;
+    totals.capacity_bytes_per_sec += topo_.link(static_cast<LinkId>(l)).payload_rate;
+    totals.peak_utilization = std::max(totals.peak_utilization, links_[l].util);
+  }
+  return totals;
 }
 
 }  // namespace agile::net

@@ -1,0 +1,96 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+
+namespace agile::net {
+
+const char* tier_name(LinkTier tier) {
+  switch (tier) {
+    case LinkTier::kHostUp: return "host_up";
+    case LinkTier::kHostDown: return "host_down";
+    case LinkTier::kLeafUp: return "leaf_up";
+    case LinkTier::kLeafDown: return "leaf_down";
+  }
+  return "?";
+}
+
+Topology::Topology(const TopologyConfig& config, double nic_payload_rate)
+    : config_(config), nic_payload_rate_(nic_payload_rate) {
+  AGILE_CHECK(nic_payload_rate_ > 0);
+  if (config_.kind == TopologyKind::kLeafSpine) {
+    AGILE_CHECK_MSG(config_.racks >= 1, "leaf-spine needs at least one rack");
+    AGILE_CHECK_MSG(config_.hosts_per_rack >= 1,
+                    "leaf uplinks are sized by hosts_per_rack");
+    AGILE_CHECK_MSG(
+        config_.oversubscription > 0 && std::isfinite(config_.oversubscription),
+        "oversubscription must be positive and finite");
+    double uplink_rate = static_cast<double>(config_.hosts_per_rack) *
+                         nic_payload_rate_ / config_.oversubscription;
+    AGILE_CHECK_MSG(uplink_rate > 0 && std::isfinite(uplink_rate),
+                    "leaf uplink capacity must be positive and finite");
+    leaf_up_.reserve(config_.racks);
+    leaf_down_.reserve(config_.racks);
+    for (std::uint32_t r = 0; r < config_.racks; ++r) {
+      leaf_up_.push_back(static_cast<LinkId>(links_.size()));
+      links_.push_back({LinkTier::kLeafUp, uplink_rate});
+      leaf_down_.push_back(static_cast<LinkId>(links_.size()));
+      links_.push_back({LinkTier::kLeafDown, uplink_rate});
+    }
+  }
+}
+
+NodeId Topology::add_node(std::uint32_t rack) {
+  if (config_.kind == TopologyKind::kLeafSpine) {
+    AGILE_CHECK_MSG(rack == kCoreAttached || rack < config_.racks,
+                    "node rack out of range for the leaf-spine topology");
+  } else {
+    rack = kCoreAttached;  // flat: everyone hangs off the one switch
+  }
+  node_rack_.push_back(rack);
+  node_up_.push_back(static_cast<LinkId>(links_.size()));
+  links_.push_back({LinkTier::kHostUp, nic_payload_rate_});
+  node_down_.push_back(static_cast<LinkId>(links_.size()));
+  links_.push_back({LinkTier::kHostDown, nic_payload_rate_});
+  return static_cast<NodeId>(node_rack_.size() - 1);
+}
+
+std::uint32_t Topology::rack_of(NodeId node) const {
+  AGILE_CHECK(node < node_rack_.size());
+  return node_rack_[node];
+}
+
+Topology::Path Topology::route(NodeId src, NodeId dst) const {
+  AGILE_CHECK(src < node_rack_.size() && dst < node_rack_.size());
+  Path path;
+  path.push(node_up_[src]);
+  if (config_.kind == TopologyKind::kLeafSpine) {
+    std::uint32_t rs = node_rack_[src];
+    std::uint32_t rd = node_rack_[dst];
+    // Same-rack traffic turns around inside the (non-blocking) leaf; only
+    // traffic between different racks — or to/from a spine-attached node —
+    // crosses the oversubscribed core.
+    if (rs != rd) {
+      if (rs != kCoreAttached) path.push(leaf_up_[rs]);
+      if (rd != kCoreAttached) path.push(leaf_down_[rd]);
+    }
+  }
+  path.push(node_down_[dst]);
+  return path;
+}
+
+const Topology::LinkSpec& Topology::link(LinkId id) const {
+  AGILE_CHECK(id < links_.size());
+  return links_[id];
+}
+
+LinkId Topology::host_up(NodeId node) const {
+  AGILE_CHECK(node < node_up_.size());
+  return node_up_[node];
+}
+
+LinkId Topology::host_down(NodeId node) const {
+  AGILE_CHECK(node < node_down_.size());
+  return node_down_[node];
+}
+
+}  // namespace agile::net

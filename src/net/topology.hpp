@@ -1,0 +1,124 @@
+// Datacenter topology: nodes, links, and deterministic routing.
+//
+// The network model historically hung every NIC off one non-blocking switch
+// (the paper's top-of-rack setup). A `Topology` generalizes that to a graph
+// of capacitated links with two builders:
+//
+//  * kFlat — the compatibility shape. Every node gets a full-duplex NIC pair
+//    (one egress link, one ingress link) and the switch core is non-blocking,
+//    so a flow's path is exactly [src egress, dst ingress]. This reproduces
+//    the legacy single-switch allocations bit-for-bit.
+//  * kLeafSpine — an oversubscribed two-tier fabric. Hosts attach to their
+//    rack's leaf switch; leaves connect to a non-blocking spine through an
+//    uplink/downlink pair whose capacity is
+//        hosts_per_rack × NIC rate / oversubscription.
+//    Intra-rack flows never leave the leaf (path = NIC pair, the leaf itself
+//    is non-blocking for its own rack); inter-rack flows additionally cross
+//    the source rack's uplink and the destination rack's downlink. Nodes
+//    without a rack (external clients, VMD intermediate hosts) attach
+//    directly at the spine, so their traffic crosses exactly the racked
+//    endpoint's leaf links.
+//
+// Routing is static and deterministic: a flow's path is fixed at open time
+// from the endpoints' rack placement alone. Paths are at most four links
+// (NIC egress, leaf uplink, leaf downlink, NIC ingress).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace agile::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+enum class TopologyKind : std::uint8_t {
+  kFlat,       ///< Single non-blocking switch (legacy shape, the default).
+  kLeafSpine,  ///< Two-tier oversubscribed fabric with per-rack leaves.
+};
+
+/// Which stage of the fabric a link implements (per-tier stats aggregate on
+/// this). Host tiers exist in every topology; leaf tiers only in kLeafSpine.
+enum class LinkTier : std::uint8_t {
+  kHostUp = 0,    ///< Host/node NIC egress.
+  kHostDown = 1,  ///< Host/node NIC ingress.
+  kLeafUp = 2,    ///< Rack leaf → spine uplink (the oversubscribed core).
+  kLeafDown = 3,  ///< Spine → rack leaf downlink.
+};
+inline constexpr std::size_t kLinkTierCount = 4;
+
+const char* tier_name(LinkTier tier);
+
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::kFlat;
+  /// Number of racks (leaf switches); kLeafSpine only.
+  std::uint32_t racks = 1;
+  /// Hosts each leaf uplink is sized for; the uplink payload capacity is
+  /// hosts_per_rack × NIC payload rate / oversubscription.
+  std::uint32_t hosts_per_rack = 1;
+  /// Core oversubscription ratio (≥ 1 oversubscribes, < 1 overprovisions).
+  /// Must be positive and finite: an infinite or zero ratio would build a
+  /// zero-capacity uplink, which the model rejects rather than dividing by.
+  double oversubscription = 4.0;
+};
+
+/// Rack id for nodes that attach at the spine instead of a leaf (external
+/// clients, VMD intermediates). Also what flat-topology nodes report.
+inline constexpr std::uint32_t kCoreAttached = 0xffffffffu;
+
+class Topology {
+ public:
+  /// A flow's ordered link list. Bounded: NIC egress [+ leaf up] [+ leaf
+  /// down] + NIC ingress.
+  struct Path {
+    std::array<LinkId, 4> link{};
+    std::uint8_t count = 0;
+    void push(LinkId id) {
+      AGILE_CHECK(count < link.size());
+      link[count++] = id;
+    }
+  };
+
+  struct LinkSpec {
+    LinkTier tier;
+    double payload_rate;  ///< Usable payload bytes/sec on this link.
+  };
+
+  /// `nic_payload_rate` is the usable payload bytes/sec of one NIC direction
+  /// (line rate × protocol efficiency / 8). Leaf links are built here; NIC
+  /// links are appended per add_node.
+  Topology(const TopologyConfig& config, double nic_payload_rate);
+
+  /// Registers a node on `rack` (kCoreAttached → spine). Creates the node's
+  /// NIC egress/ingress links. In kLeafSpine, racked nodes must name a rack
+  /// below `config.racks`.
+  NodeId add_node(std::uint32_t rack);
+
+  std::size_t node_count() const { return node_rack_.size(); }
+  std::uint32_t rack_of(NodeId node) const;
+
+  /// Deterministic path for src → dst traffic, fixed by rack placement.
+  Path route(NodeId src, NodeId dst) const;
+
+  std::size_t link_count() const { return links_.size(); }
+  const LinkSpec& link(LinkId id) const;
+  LinkId host_up(NodeId node) const;
+  LinkId host_down(NodeId node) const;
+
+  const TopologyConfig& config() const { return config_; }
+
+ private:
+  TopologyConfig config_;
+  double nic_payload_rate_;
+  std::vector<LinkSpec> links_;
+  std::vector<std::uint32_t> node_rack_;
+  std::vector<LinkId> node_up_;
+  std::vector<LinkId> node_down_;
+  std::vector<LinkId> leaf_up_;    ///< Per rack; kLeafSpine only.
+  std::vector<LinkId> leaf_down_;  ///< Per rack; kLeafSpine only.
+};
+
+}  // namespace agile::net

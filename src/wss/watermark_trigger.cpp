@@ -47,6 +47,15 @@ TriggerDecision evaluate_watermarks(Bytes host_ram, Bytes host_os_bytes,
 std::vector<std::size_t> place_victims(const std::vector<Bytes>& victim_wss,
                                        const std::vector<HostHeadroom>& hosts,
                                        double low_watermark) {
+  return place_victims(victim_wss, hosts, low_watermark,
+                       PlacementPolicy::kBestFit, 0);
+}
+
+std::vector<std::size_t> place_victims(const std::vector<Bytes>& victim_wss,
+                                       const std::vector<HostHeadroom>& hosts,
+                                       double low_watermark,
+                                       PlacementPolicy policy,
+                                       std::uint32_t source_rack) {
   AGILE_CHECK(low_watermark > 0 && low_watermark <= 1.0);
   // Remaining admissible bytes per candidate (0 when already at/over low).
   std::vector<Bytes> headroom(hosts.size(), 0);
@@ -55,14 +64,34 @@ std::vector<std::size_t> place_victims(const std::vector<Bytes>& victim_wss,
         static_cast<Bytes>(low_watermark * static_cast<double>(hosts[i].ram));
     if (hosts[i].committed < low) headroom[i] = low - hosts[i].committed;
   }
+  // Best-fit among candidates for which `eligible(i)` holds; kNoPlacement
+  // when none admits the victim. Strictly-smaller comparison keeps the
+  // earliest candidate on ties, so placement is deterministic for any input
+  // order.
+  auto best_fit = [&](Bytes wss, auto&& eligible) {
+    std::size_t best = kNoPlacement;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (!eligible(i) || headroom[i] < wss) continue;
+      if (best == kNoPlacement || headroom[i] < headroom[best]) best = i;
+    }
+    return best;
+  };
   std::vector<std::size_t> placement(victim_wss.size(), kNoPlacement);
   for (std::size_t v = 0; v < victim_wss.size(); ++v) {
     std::size_t best = kNoPlacement;
-    for (std::size_t i = 0; i < hosts.size(); ++i) {
-      if (headroom[i] < victim_wss[v]) continue;
-      // Best-fit: strictly-smaller comparison keeps the earliest candidate
-      // on ties, so placement is deterministic for any input order.
-      if (best == kNoPlacement || headroom[i] < headroom[best]) best = i;
+    if (policy == PlacementPolicy::kRackAware) {
+      // Keep the move off the core tier when the source rack can take it;
+      // only then consider remote racks.
+      best = best_fit(victim_wss[v], [&](std::size_t i) {
+        return hosts[i].rack == source_rack;
+      });
+      if (best == kNoPlacement) {
+        best = best_fit(victim_wss[v], [&](std::size_t i) {
+          return hosts[i].rack != source_rack;
+        });
+      }
+    } else {
+      best = best_fit(victim_wss[v], [](std::size_t) { return true; });
     }
     if (best == kNoPlacement) continue;
     placement[v] = best;

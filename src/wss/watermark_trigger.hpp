@@ -51,6 +51,8 @@ struct HostHeadroom {
   std::string name;
   Bytes ram = 0;
   Bytes committed = 0;
+  /// Rack the candidate sits in (only read by PlacementPolicy::kRackAware).
+  std::uint32_t rack = 0;
 };
 
 /// Returned by `place_victims` for a victim no candidate can admit.
@@ -66,5 +68,23 @@ inline constexpr std::size_t kNoPlacement = static_cast<std::size_t>(-1);
 std::vector<std::size_t> place_victims(const std::vector<Bytes>& victim_wss,
                                        const std::vector<HostHeadroom>& hosts,
                                        double low_watermark);
+
+/// Destination preference for the policy-selecting overload.
+enum class PlacementPolicy {
+  kBestFit,    ///< The default global best-fit above.
+  kRackAware,  ///< Best-fit within the source rack first, then global.
+};
+
+/// Policy-selecting variant. kBestFit reproduces the default overload
+/// exactly (source_rack is ignored). kRackAware places each victim best-fit
+/// among candidates in `source_rack` when any of them admits it — keeping
+/// migration traffic off the oversubscribed core tier — and falls back to
+/// best-fit over the remaining candidates otherwise. Tie-breaking and
+/// reservation semantics match the default policy.
+std::vector<std::size_t> place_victims(const std::vector<Bytes>& victim_wss,
+                                       const std::vector<HostHeadroom>& hosts,
+                                       double low_watermark,
+                                       PlacementPolicy policy,
+                                       std::uint32_t source_rack);
 
 }  // namespace agile::wss

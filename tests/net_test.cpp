@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "net/network.hpp"
 
 namespace agile::net {
@@ -191,6 +193,162 @@ TEST(Network, ProtocolEfficiencyShavesGoodput) {
   net.offer(f, 1_GiB);
   net.advance(sec(1));
   EXPECT_NEAR(static_cast<double>(delivered), 125e6 * 0.94, 1e4);
+}
+
+// --- Degenerate flows and topology configs (defined, not modeled) --------
+
+TEST(NetworkDeathTest, OpenFlowSameEndpointDies) {
+  Network net(gbit());
+  NodeId a = net.add_node("a");
+  net.add_node("b");
+  EXPECT_DEATH(net.open_flow(a, a, [](Bytes) {}),
+               "flow endpoints must differ");
+}
+
+NetworkConfig leaf_spine(std::uint32_t racks, std::uint32_t hosts_per_rack,
+                         double oversub) {
+  NetworkConfig cfg = gbit();
+  cfg.topology.kind = TopologyKind::kLeafSpine;
+  cfg.topology.racks = racks;
+  cfg.topology.hosts_per_rack = hosts_per_rack;
+  cfg.topology.oversubscription = oversub;
+  return cfg;
+}
+
+TEST(NetworkDeathTest, ZeroCapacityUplinkConfigsDie) {
+  // Each of these would build a zero- or undefined-capacity leaf uplink; the
+  // topology refuses instead of silently starving every inter-rack flow.
+  EXPECT_DEATH(Network(leaf_spine(2, 2, 0.0)),
+               "oversubscription must be positive and finite");
+  EXPECT_DEATH(Network(leaf_spine(2, 2, -4.0)),
+               "oversubscription must be positive and finite");
+  EXPECT_DEATH(Network(leaf_spine(2, 2,
+                                  std::numeric_limits<double>::infinity())),
+               "oversubscription must be positive and finite");
+  EXPECT_DEATH(Network(leaf_spine(2, 2,
+                                  std::numeric_limits<double>::quiet_NaN())),
+               "oversubscription must be positive and finite");
+}
+
+TEST(NetworkDeathTest, LeafSpineShapeChecks) {
+  EXPECT_DEATH(Network(leaf_spine(0, 2, 4.0)), "at least one rack");
+  EXPECT_DEATH(Network(leaf_spine(2, 0, 4.0)), "hosts_per_rack");
+  Network net(leaf_spine(2, 2, 4.0));
+  EXPECT_DEATH(net.add_node("stray", /*rack=*/2), "rack out of range");
+}
+
+// --- Leaf-spine routing and capacity -------------------------------------
+
+TEST(Topology, FlatRouteIsTheNicPair) {
+  Topology topo(TopologyConfig{}, 125e6);
+  NodeId a = topo.add_node(kCoreAttached);
+  NodeId b = topo.add_node(kCoreAttached);
+  Topology::Path p = topo.route(a, b);
+  ASSERT_EQ(p.count, 2);
+  EXPECT_EQ(p.link[0], topo.host_up(a));
+  EXPECT_EQ(p.link[1], topo.host_down(b));
+  // Flat ignores the rack argument entirely.
+  Topology topo2(TopologyConfig{}, 125e6);
+  EXPECT_EQ(topo2.rack_of(topo2.add_node(7)), kCoreAttached);
+}
+
+TEST(Topology, LeafSpineHopCountFollowsRackPlacement) {
+  TopologyConfig cfg;
+  cfg.kind = TopologyKind::kLeafSpine;
+  cfg.racks = 2;
+  cfg.hosts_per_rack = 2;
+  cfg.oversubscription = 4.0;
+  Topology topo(cfg, 125e6);
+  NodeId r0a = topo.add_node(0), r0b = topo.add_node(0);
+  NodeId r1a = topo.add_node(1);
+  NodeId ext = topo.add_node(kCoreAttached);
+  EXPECT_EQ(topo.route(r0a, r0b).count, 2);  // intra-rack: leaf turnaround
+  EXPECT_EQ(topo.route(r0a, r1a).count, 4);  // inter-rack: up + core + down
+  EXPECT_EQ(topo.route(r0a, ext).count, 3);  // racked -> spine-attached
+  EXPECT_EQ(topo.route(ext, r1a).count, 3);  // spine-attached -> racked
+  // The inter-rack path crosses exactly the source uplink and dest downlink.
+  Topology::Path p = topo.route(r0a, r1a);
+  EXPECT_EQ(topo.link(p.link[1]).tier, LinkTier::kLeafUp);
+  EXPECT_EQ(topo.link(p.link[2]).tier, LinkTier::kLeafDown);
+  double uplink = 2 * 125e6 / 4.0;
+  EXPECT_DOUBLE_EQ(topo.link(p.link[1]).payload_rate, uplink);
+  EXPECT_DOUBLE_EQ(topo.link(p.link[2]).payload_rate, uplink);
+}
+
+TEST(Network, IntraRackFlowNeverSeesTheCore) {
+  Network net(leaf_spine(2, 2, 8.0));  // uplink: 2*125e6/8 = 31.25 MB/s
+  NodeId a = net.add_node("a", 0), b = net.add_node("b", 0);
+  Bytes delivered = 0;
+  FlowId f = net.open_flow(a, b, [&](Bytes n) { delivered += n; });
+  net.offer(f, 1_GiB);
+  net.advance(sec(1));
+  // Full NIC rate despite the heavily oversubscribed core.
+  EXPECT_NEAR(static_cast<double>(delivered), 125e6, 1e3);
+  EXPECT_EQ(net.tier_totals(LinkTier::kLeafUp).bytes_total, 0u);
+}
+
+TEST(Network, InterRackFlowIsCappedByTheOversubscribedUplink) {
+  Network net(leaf_spine(2, 2, 4.0));  // uplink: 2*125e6/4 = 62.5 MB/s
+  NodeId a = net.add_node("a", 0), b = net.add_node("b", 1);
+  Bytes delivered = 0;
+  FlowId f = net.open_flow(a, b, [&](Bytes n) { delivered += n; });
+  net.offer(f, 1_GiB);
+  net.advance(sec(1));
+  EXPECT_NEAR(static_cast<double>(delivered), 62.5e6, 1e3);
+  // The constrained uplink runs hot while the NIC has slack.
+  EXPECT_NEAR(net.tier_totals(LinkTier::kLeafUp).peak_utilization, 1.0, 1e-6);
+  EXPECT_NEAR(net.tx_utilization(a), 0.5, 1e-6);
+}
+
+TEST(Network, BackgroundTrafficOnTheUplinkStallsInterRackFlows) {
+  Network net(leaf_spine(2, 2, 4.0));  // uplink: 62.5 MB/s
+  NodeId a = net.add_node("a", 0), b = net.add_node("b", 1);
+  Bytes delivered = 0;
+  FlowId f = net.open_flow(a, b, [&](Bytes n) { delivered += n; });
+  net.offer(f, 1_GiB);
+  net.consume_background(a, b, 62'500'000);  // fills the uplink for 1 s
+  net.advance(sec(1));
+  EXPECT_EQ(delivered, 0u);
+  net.advance(sec(1));  // background is per-quantum; the flow recovers
+  EXPECT_NEAR(static_cast<double>(delivered), 62.5e6, 1e3);
+}
+
+TEST(Network, RpcLatencyScalesWithHopCount) {
+  NetworkConfig cfg = leaf_spine(2, 2, 4.0);
+  cfg.base_rtt = 200;
+  Network net(cfg);
+  NodeId a = net.add_node("a", 0), b = net.add_node("b", 0);
+  NodeId c = net.add_node("c", 1);
+  NodeId ext = net.add_node("ext", kCoreAttached);
+  // One base RTT per switch crossing: 2-link path = 1x, 3-link = 2x, 4-link
+  // = 3x (payload 0 isolates the RTT term).
+  EXPECT_EQ(net.rpc_latency(a, b, 0), 200);
+  EXPECT_EQ(net.rpc_latency(a, ext, 0), 400);
+  EXPECT_EQ(net.rpc_latency(a, c, 0), 600);
+}
+
+TEST(Network, TierTotalsAggregatePerTierLinks) {
+  Network net(leaf_spine(2, 2, 4.0));
+  NodeId a = net.add_node("a", 0), b = net.add_node("b", 1);
+  net.add_node("c", 0);
+  FlowId f = net.open_flow(a, b, [](Bytes) {});
+  net.offer(f, 10_MiB);
+  net.consume_background(b, a, 1_MiB);
+  net.advance(sec(1));
+  TierTotals up = net.tier_totals(LinkTier::kLeafUp);
+  TierTotals down = net.tier_totals(LinkTier::kLeafDown);
+  TierTotals host_up = net.tier_totals(LinkTier::kHostUp);
+  EXPECT_EQ(up.links, 2u);    // one uplink per rack
+  EXPECT_EQ(down.links, 2u);
+  EXPECT_EQ(host_up.links, 3u);  // one NIC egress per node
+  // a->b flow crosses rack0's uplink; b->a background crosses rack1's.
+  EXPECT_EQ(up.bytes_total, 10_MiB + 1_MiB);
+  EXPECT_EQ(down.bytes_total, 10_MiB + 1_MiB);
+  EXPECT_DOUBLE_EQ(up.capacity_bytes_per_sec, 2 * 62.5e6);
+  // The flat shape has no leaf tier at all.
+  Network flat(gbit());
+  flat.add_node("x");
+  EXPECT_EQ(flat.tier_totals(LinkTier::kLeafUp).links, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/fleet_rebalancer.hpp"
+#include "core/scenarios.hpp"
+
+namespace agile::core {
+namespace {
+
+// --- pure round planner ----------------------------------------------------
+
+FleetRebalancerConfig planner_config() {
+  FleetRebalancerConfig cfg;
+  cfg.imbalance_threshold = 0.10;
+  cfg.max_moves_per_round = 4;
+  return cfg;
+}
+
+TEST(RebalancePlanner, ImbalanceMovesSmallestAdmissibleVmFirst) {
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 8_GiB, 0},
+                                           {"h1", 10_GiB, 2_GiB, 0}};
+  std::vector<RebalanceVmState> vms = {{"big", 0, 3_GiB, true},
+                                       {"small", 0, 1_GiB, true}};
+  std::vector<RebalanceProposal> p =
+      plan_rebalance_round(hosts, vms, planner_config(), 0.75);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].vm, 1u);  // smallest VM narrows the peak first
+  EXPECT_EQ(p[0].dest, 1u);
+  EXPECT_EQ(p[0].partner_vm, kNoVm);
+  EXPECT_EQ(p[1].vm, 0u);  // then the big one, once the gap persists
+  EXPECT_EQ(p[1].dest, 1u);
+}
+
+TEST(RebalancePlanner, BalancedFleetProposesNothing) {
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 5_GiB, 0},
+                                           {"h1", 10_GiB, 45 * 100_MiB, 0}};
+  std::vector<RebalanceVmState> vms = {{"vm", 0, 1_GiB, true}};
+  EXPECT_TRUE(
+      plan_rebalance_round(hosts, vms, planner_config(), 0.75).empty());
+}
+
+TEST(RebalancePlanner, BudgetBoundsTheBatch) {
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 8_GiB, 0},
+                                           {"h1", 10_GiB, 1_GiB, 0}};
+  std::vector<RebalanceVmState> vms = {{"a", 0, 1_GiB, true},
+                                       {"b", 0, 1_GiB, true},
+                                       {"c", 0, 1_GiB, true}};
+  FleetRebalancerConfig cfg = planner_config();
+  cfg.max_moves_per_round = 1;
+  EXPECT_EQ(plan_rebalance_round(hosts, vms, cfg, 0.75).size(), 1u);
+}
+
+TEST(RebalancePlanner, ImmovableVmsNeverMove) {
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 9_GiB, 0},
+                                           {"h1", 10_GiB, 1_GiB, 0}};
+  std::vector<RebalanceVmState> vms = {{"inflight", 0, 2_GiB, false},
+                                       {"hungry", 0, 4_GiB, false}};
+  EXPECT_TRUE(
+      plan_rebalance_round(hosts, vms, planner_config(), 0.75).empty());
+}
+
+TEST(RebalancePlanner, DestinationSwapWhenNoDirectMoveIsAdmissible) {
+  // The coolest host already sits near the low watermark (7.5 GiB limit), so
+  // the source's 2 GiB VM cannot move directly; swapping it against the
+  // destination's 1664 MiB VM shifts only the 384 MiB difference.
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 9_GiB, 0},
+                                           {"h1", 10_GiB, 7_GiB, 0}};
+  std::vector<RebalanceVmState> vms = {{"heavy", 0, 2_GiB, true},
+                                       {"light", 1, 1664_MiB, true}};
+  std::vector<RebalanceProposal> p =
+      plan_rebalance_round(hosts, vms, planner_config(), 0.75);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].vm, 0u);
+  EXPECT_EQ(p[0].dest, 1u);
+  EXPECT_EQ(p[0].partner_vm, 1u);
+}
+
+TEST(RebalancePlanner, SwapNeedsBudgetForBothHalves) {
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 9_GiB, 0},
+                                           {"h1", 10_GiB, 7_GiB, 0}};
+  std::vector<RebalanceVmState> vms = {{"heavy", 0, 2_GiB, true},
+                                       {"light", 1, 1664_MiB, true}};
+  FleetRebalancerConfig cfg = planner_config();
+  cfg.max_moves_per_round = 1;  // a swap costs two launches
+  EXPECT_TRUE(plan_rebalance_round(hosts, vms, cfg, 0.75).empty());
+  cfg.enable_swaps = false;
+  cfg.max_moves_per_round = 4;
+  EXPECT_TRUE(plan_rebalance_round(hosts, vms, cfg, 0.75).empty());
+}
+
+TEST(RebalancePlanner, RackAwarePrefersTheLocalDestination) {
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 8_GiB, 0},
+                                           {"h1", 10_GiB, 4_GiB, 0},
+                                           {"h2", 10_GiB, 2_GiB, 1}};
+  std::vector<RebalanceVmState> vms = {{"vm", 0, 1_GiB, true}};
+  FleetRebalancerConfig cfg = planner_config();
+  cfg.rack_aware = true;
+  std::vector<RebalanceProposal> p =
+      plan_rebalance_round(hosts, vms, cfg, 0.75);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].dest, 1u);  // same rack, though h2 is globally coolest
+  cfg.rack_aware = false;
+  p = plan_rebalance_round(hosts, vms, cfg, 0.75);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].dest, 2u);
+}
+
+TEST(RebalancePlanner, RackAwareFallsBackAcrossRacks) {
+  // The only same-rack neighbor cannot admit the VM; the move crosses racks
+  // rather than being dropped.
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 8_GiB, 0},
+                                           {"h1", 10_GiB, 7_GiB, 0},
+                                           {"h2", 10_GiB, 2_GiB, 1}};
+  std::vector<RebalanceVmState> vms = {{"vm", 0, 1_GiB, true}};
+  FleetRebalancerConfig cfg = planner_config();
+  cfg.rack_aware = true;
+  std::vector<RebalanceProposal> p =
+      plan_rebalance_round(hosts, vms, cfg, 0.75);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].dest, 2u);
+}
+
+TEST(RebalancePlanner, NeverOvercommitsADestinationWithinOneRound) {
+  // Three 1 GiB VMs could all "fit" h1 as judged from the starting
+  // snapshot, but applying each proposal must reserve its WSS so the batch
+  // stops at the low watermark (7.5 GiB).
+  std::vector<RebalanceHostState> hosts = {{"h0", 10_GiB, 9_GiB, 0},
+                                           {"h1", 10_GiB, 6_GiB, 0}};
+  std::vector<RebalanceVmState> vms = {{"a", 0, 1_GiB, true},
+                                       {"b", 0, 1_GiB, true},
+                                       {"c", 0, 1_GiB, true}};
+  std::vector<RebalanceProposal> p =
+      plan_rebalance_round(hosts, vms, planner_config(), 0.75);
+  Bytes dest_committed = 6_GiB;
+  for (const RebalanceProposal& prop : p) {
+    ASSERT_EQ(prop.partner_vm, kNoVm);
+    dest_committed += vms[prop.vm].wss;
+  }
+  EXPECT_LE(static_cast<double>(dest_committed), 0.75 * 10.0 * 1024 * 1024 * 1024);
+}
+
+// --- execution through the orchestrator ------------------------------------
+
+TEST(FleetRebalancer, LaunchRebalanceObeysThePerLinkCap) {
+  scenarios::FleetOptions opt;
+  opt.host_count = 3;
+  opt.vm_count = 4;
+  opt.per_link_cap = 1;
+  scenarios::Fleet fleet = scenarios::make_fleet(opt);
+  fleet.load_all();
+  fleet.orchestrator->start();
+  fleet.bed->cluster().run_for_seconds(5);
+  // Two tracked VMs on host0; push both toward host1 on the same link. The
+  // second launch must be refused by the in-flight cap, not queued.
+  EXPECT_TRUE(fleet.orchestrator->launch_rebalance(fleet.handles[0],
+                                                   fleet.bed->host_at(1)));
+  EXPECT_FALSE(fleet.orchestrator->launch_rebalance(fleet.handles[1],
+                                                    fleet.bed->host_at(1)));
+  // A different link is unaffected.
+  EXPECT_TRUE(fleet.orchestrator->launch_rebalance(fleet.handles[1],
+                                                   fleet.bed->host_at(2)));
+  // Re-launching an in-flight VM is refused too.
+  EXPECT_FALSE(fleet.orchestrator->launch_rebalance(fleet.handles[0],
+                                                    fleet.bed->host_at(2)));
+  fleet.orchestrator->stop();
+}
+
+TEST(FleetRebalancer, SpreadsAPerRackHotspotFleet) {
+  // Miniature of the fleet_topology bench: VMs spread two-per-host on a
+  // 2-rack leaf-spine fabric, one hotspot VM per rack. The hot VMs pin their
+  // estimates at the reservation cap (immovable); the rebalancer must move
+  // cold neighbors off the hot hosts without any watermark decision firing.
+  scenarios::FleetOptions opt;
+  opt.host_count = 4;
+  opt.vm_count = 8;
+  opt.racks = 2;
+  opt.spread_initial = true;
+  opt.hot_per_rack = true;
+  opt.hot_vms = 2;
+  opt.hot_at = sec(90);
+  opt.hot_active = 640_MiB;
+  opt.source_ram = 2176_MiB;
+  opt.dest_ram = 2176_MiB;
+  opt.ycsb_concurrency = 2;
+  opt.rack_aware_placement = true;
+  opt.rebalance = true;
+  opt.rebalancer_config.rack_aware = true;
+  scenarios::Fleet fleet = scenarios::make_fleet(opt);
+  ASSERT_NE(fleet.rebalancer, nullptr);
+  fleet.load_all();
+  fleet.orchestrator->start();
+  fleet.rebalancer->start();
+  fleet.bed->cluster().run_for_seconds(240);
+  fleet.rebalancer->stop();
+  fleet.orchestrator->stop();
+
+  EXPECT_TRUE(fleet.orchestrator->decisions().empty())
+      << "host RAM is sized so the orchestrator never fires";
+  EXPECT_GT(fleet.rebalancer->rounds().size(), 0u);
+  EXPECT_GT(fleet.rebalancer->moves_launched(), 0u);
+  // Every recorded move is a real launched migration.
+  std::size_t audited = 0;
+  for (const RebalanceRound& r : fleet.rebalancer->rounds()) {
+    audited += r.moves.size();
+  }
+  EXPECT_EQ(audited, fleet.rebalancer->moves_launched());
+  EXPECT_EQ(fleet.orchestrator->migrations_launched(), audited);
+}
+
+}  // namespace
+}  // namespace agile::core

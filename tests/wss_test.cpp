@@ -146,6 +146,94 @@ TEST(Placement, NoCandidatesMeansNoPlacement) {
   EXPECT_EQ(p[0], kNoPlacement);
 }
 
+TEST(Placement, RackAwarePrefersSourceRackEvenWhenLooser) {
+  // h1 (other rack) is the tighter global best-fit, but rack-aware gives the
+  // source rack first refusal.
+  std::vector<HostHeadroom> hosts = {{"h0", 8_GiB, 1_GiB, /*rack=*/0},
+                                     {"h1", 4_GiB, 1_GiB, /*rack=*/1}};
+  std::vector<std::size_t> p = place_victims(
+      {2_GiB}, hosts, 1.0, PlacementPolicy::kRackAware, /*source_rack=*/0);
+  EXPECT_EQ(p[0], 0u);
+  // kBestFit ignores the rack hint and keeps the global pick.
+  EXPECT_EQ(place_victims({2_GiB}, hosts, 1.0, PlacementPolicy::kBestFit,
+                          0)[0],
+            1u);
+}
+
+TEST(Placement, RackAwareFallsBackToGlobalBestFit) {
+  std::vector<HostHeadroom> hosts = {{"h0", 2_GiB, 1536_MiB, /*rack=*/0},
+                                     {"h1", 8_GiB, 1_GiB, /*rack=*/1},
+                                     {"h2", 4_GiB, 1_GiB, /*rack=*/1}};
+  // The only rack-0 candidate cannot admit 2 GiB: fall back to best-fit over
+  // the other racks (h2, the tighter of the two).
+  std::vector<std::size_t> p = place_victims(
+      {2_GiB}, hosts, 1.0, PlacementPolicy::kRackAware, /*source_rack=*/0);
+  EXPECT_EQ(p[0], 2u);
+}
+
+TEST(Placement, RackAwareReservationsSpillAcrossRacks) {
+  // Two victims; the single same-rack candidate admits only the first, so
+  // the second spills to the remote rack — one decision, both semantics.
+  std::vector<HostHeadroom> hosts = {{"h0", 4_GiB, 1_GiB, /*rack=*/0},
+                                     {"h1", 8_GiB, 1_GiB, /*rack=*/1}};
+  std::vector<std::size_t> p = place_victims(
+      {2_GiB, 2_GiB}, hosts, 1.0, PlacementPolicy::kRackAware, 0);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[1], 1u);
+}
+
+TEST(Placement, FleetScaleCascadingTiesStayDeterministic) {
+  // 300 identical candidates (a cascade of exact ties) and 40 identical
+  // victims: best-fit with index tie-breaking must fill candidates strictly
+  // in input order, each taking ceil-of-share victims before the next opens.
+  const std::size_t candidates = 300;
+  std::vector<HostHeadroom> hosts;
+  hosts.reserve(candidates);
+  for (std::size_t i = 0; i < candidates; ++i) {
+    hosts.push_back({"h" + std::to_string(i), 4_GiB, 1_GiB, 0});
+  }
+  std::vector<Bytes> victims(40, 1_GiB);
+  std::vector<std::size_t> p = place_victims(victims, hosts, 1.0);
+  ASSERT_EQ(p.size(), victims.size());
+  // Each candidate has 3 GiB headroom = room for three 1 GiB victims; the
+  // first placement makes h0 the tightest fit, so it absorbs three before
+  // the cascade moves to h1, and so on.
+  for (std::size_t v = 0; v < p.size(); ++v) {
+    EXPECT_EQ(p[v], v / 3) << "victim " << v;
+  }
+}
+
+TEST(Placement, FleetScalePolicyOverloadMatchesDefault) {
+  // Several hundred mixed candidates: the kBestFit policy overload must
+  // reproduce the 3-arg overload exactly, whatever source_rack says.
+  std::vector<HostHeadroom> hosts;
+  std::vector<Bytes> victims;
+  for (std::size_t i = 0; i < 257; ++i) {
+    hosts.push_back({"h" + std::to_string(i), 2_GiB + (i % 7) * 512_MiB,
+                     (i % 5) * 256_MiB, static_cast<std::uint32_t>(i % 8)});
+  }
+  for (std::size_t v = 0; v < 64; ++v) {
+    victims.push_back(128_MiB + (v % 11) * 96_MiB);
+  }
+  std::vector<std::size_t> base = place_victims(victims, hosts, 0.9);
+  for (std::uint32_t rack = 0; rack < 3; ++rack) {
+    EXPECT_EQ(place_victims(victims, hosts, 0.9, PlacementPolicy::kBestFit,
+                            rack),
+              base);
+  }
+  // Rack-aware from rack 2 keeps every placement that fits inside rack 2 or
+  // falls back deterministically; it must still place every victim some
+  // candidate admits.
+  std::vector<std::size_t> aware =
+      place_victims(victims, hosts, 0.9, PlacementPolicy::kRackAware, 2);
+  ASSERT_EQ(aware.size(), victims.size());
+  for (std::size_t v = 0; v < victims.size(); ++v) {
+    EXPECT_EQ(aware[v] == kNoPlacement, base[v] == kNoPlacement)
+        << "policy changed placeability of victim " << v;
+  }
+}
+
 // --- reservation controller (closed loop on a live testbed) ---------------
 
 struct ControllerBed {

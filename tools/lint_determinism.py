@@ -19,11 +19,14 @@ contract:
                structs are aggregate-built and memcmp'd/serialized, so an
                unwritten member leaks indeterminate bytes.
 
-src/trace/, src/sim/, src/host/, src/core/, src/stats/ and the multi-stream
-wire module (src/migration/wire.* and stream_group.*) get a stricter
-zero-tolerance profile on top of the above: trace exports, the event core (heap + sharded
-lanes — execution order must be identical at every lane count), the cluster
-orchestration layer and the scenario/testbed layer drive everything the
+src/trace/, src/sim/, src/host/, src/core/, src/stats/, src/net/ and the
+multi-stream wire module (src/migration/wire.* and stream_group.*) get a
+stricter zero-tolerance profile on top of the above: trace exports, the event
+core (heap + sharded lanes — execution order must be identical at every lane
+count), the cluster orchestration layer, the scenario/testbed layer and the
+network topology/allocation model (multi-hop routing plus the progressive-
+filling allocator — flow delivery order feeds every golden byte count, and
+the FleetRebalancer in src/core audits it move by move) drive everything the
 golden tests pin byte-for-byte, so these modules may not even *include*
 <chrono> or <random>, read the environment (getenv), or use unordered
 containers at all (delivery and export order must never depend on hashing).
@@ -113,6 +116,12 @@ CORE_STRICT = strict_rules("core")
 # counts, job counts and reruns, so the module may not read wall clocks, the
 # environment, or order anything by hash.
 STATS_STRICT = strict_rules("stats")
+# The network model: static multi-hop routing and the max–min progressive-
+# filling allocator decide per-quantum delivered bytes, which every migration
+# golden, the per-tier stats gauges and the fleet_topology golden block pin
+# byte-for-byte across lane/job counts. (The FleetRebalancer that audits
+# moves over this fabric lives in src/core and rides the core profile.)
+NET_STRICT = strict_rules("net")
 
 
 def in_trace_module(relpath):
@@ -133,6 +142,10 @@ def in_core_module(relpath):
 
 def in_stats_module(relpath):
     return relpath.startswith("src" + os.sep + "stats" + os.sep)
+
+
+def in_net_module(relpath):
+    return relpath.startswith("src" + os.sep + "net" + os.sep)
 
 
 def in_wire_module(relpath):
@@ -250,6 +263,10 @@ def scan_file(relpath, allow):
                     report(msg)
         if in_stats_module(relpath):
             for pat, msg in STATS_STRICT:
+                if pat.search(line):
+                    report(msg)
+        if in_net_module(relpath):
+            for pat, msg in NET_STRICT:
                 if pat.search(line):
                     report(msg)
         if in_wire_module(relpath):
